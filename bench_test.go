@@ -1,0 +1,86 @@
+// Package hyperion's repository-root benchmarks: one testing.B benchmark
+// per paper table/figure (wrapping internal/bench, the same harness
+// cmd/benchctl runs), so `go test -bench=.` regenerates every
+// experiment. Each bench reports the experiment's headline metric via
+// b.ReportMetric in addition to wall-clock time of the simulation.
+package hyperion
+
+import (
+	"testing"
+
+	"hyperion/internal/bench"
+)
+
+// runExperiment executes one experiment per benchmark iteration.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := bench.ByName(id)
+	if !ok {
+		b.Fatalf("no experiment %s", id)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := e.Run()
+		if len(r.Table.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+func BenchmarkTable1_IntegrationModels(b *testing.B)    { runExperiment(b, "E1") }
+func BenchmarkFigure2_EndToEndPath(b *testing.B)        { runExperiment(b, "E2") }
+func BenchmarkEnergy_VolumeAndTDP(b *testing.B)         { runExperiment(b, "E3") }
+func BenchmarkReconfig_ICAPWindow(b *testing.B)         { runExperiment(b, "E4") }
+func BenchmarkPredictability_SpatialSlots(b *testing.B) { runExperiment(b, "E5") }
+func BenchmarkSegmentVsPage_Translation(b *testing.B)   { runExperiment(b, "E6") }
+func BenchmarkPointerChase_RTTs(b *testing.B)           { runExperiment(b, "E7") }
+func BenchmarkFail2ban_Middleware(b *testing.B)         { runExperiment(b, "E8") }
+func BenchmarkLoadBalancer_SSDSpill(b *testing.B)       { runExperiment(b, "E9") }
+func BenchmarkEBPF_VerifyWarpPipeline(b *testing.B)     { runExperiment(b, "E10") }
+func BenchmarkCorfu_SharedLog(b *testing.B)             { runExperiment(b, "E11") }
+func BenchmarkColumnarScan_Pushdown(b *testing.B)       { runExperiment(b, "E12") }
+func BenchmarkKV_YCSBBackends(b *testing.B)             { runExperiment(b, "E13") }
+func BenchmarkNVMeoF_Transports(b *testing.B)           { runExperiment(b, "E14") }
+
+// TestAllExperimentsProduceOutput is the integration smoke test: every
+// experiment runs to completion and emits a plausible table.
+func TestAllExperimentsProduceOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are heavyweight")
+	}
+	for _, e := range bench.All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			r := e.Run()
+			if len(r.Table.Rows) == 0 {
+				t.Fatalf("%s: empty table", e.ID)
+			}
+			if len(r.Table.Header) == 0 {
+				t.Fatalf("%s: no header", e.ID)
+			}
+			for i, row := range r.Table.Rows {
+				if len(row) != len(r.Table.Header) {
+					t.Fatalf("%s: row %d has %d cells, header has %d", e.ID, i, len(row), len(r.Table.Header))
+				}
+			}
+		})
+	}
+}
+
+// TestExperimentsDeterministic asserts the simulation's core promise:
+// same seed, same virtual-time results — two runs of an experiment
+// produce byte-identical tables.
+func TestExperimentsDeterministic(t *testing.T) {
+	for _, id := range []string{"E2", "E4", "E14"} {
+		e, ok := bench.ByName(id)
+		if !ok {
+			t.Fatalf("no experiment %s", id)
+		}
+		a := e.Run().String()
+		b := e.Run().String()
+		if a != b {
+			t.Fatalf("%s not deterministic:\n--- first ---\n%s\n--- second ---\n%s", id, a, b)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+// Command benchctl runs the paper-reproduction experiments and prints
+// the regenerated tables and figures.
+//
+// Usage:
+//
+//	benchctl list          # show available experiments
+//	benchctl all           # run everything (EXPERIMENTS.md content)
+//	benchctl table1        # run one, by name or id (E1..E14)
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"hyperion/internal/bench"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "list":
+		for _, e := range bench.All() {
+			fmt.Printf("  %-4s %s\n", e.ID, e.Name)
+		}
+	case "all":
+		for _, e := range bench.All() {
+			fmt.Println(e.Run().String())
+		}
+	default:
+		for _, name := range os.Args[1:] {
+			e, ok := bench.ByName(name)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "benchctl: unknown experiment %q (try 'benchctl list')\n", name)
+				os.Exit(1)
+			}
+			fmt.Println(e.Run().String())
+		}
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: benchctl list | all | <experiment>...")
+}

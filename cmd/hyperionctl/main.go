@@ -1,0 +1,164 @@
+// Command hyperionctl exercises the OS-shell control path: it boots a
+// simulated DPU, then drives the same network control-plane RPCs an
+// operator would use against hardware — ping, status, bitstream load
+// with authorization, and unload — entirely over the simulated fabric
+// (no host CPU on the DPU side).
+//
+// Usage:
+//
+//	hyperionctl status
+//	hyperionctl load -slot 2 -mib 16
+//	hyperionctl load -slot 2 -mib 16 -forge   # demonstrate auth rejection
+//	hyperionctl session                        # full scripted session
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hyperion/internal/core"
+	"hyperion/internal/fabric"
+	"hyperion/internal/netsim"
+	"hyperion/internal/rpc"
+	"hyperion/internal/sim"
+	"hyperion/internal/transport"
+)
+
+type ctl struct {
+	eng *sim.Engine
+	dpu *core.DPU
+	cli *rpc.Client
+}
+
+func dial() *ctl {
+	eng := sim.NewEngine(1)
+	net := netsim.New(eng, netsim.DefaultConfig())
+	cfg := core.DefaultConfig("dpu0")
+	cfg.NVMe.Blocks = 1 << 20
+	cfg.Seg.DRAMBytes = 128 << 20
+	d, _, err := core.Boot(eng, net, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "boot:", err)
+		os.Exit(1)
+	}
+	cn, err := net.Attach("hyperionctl")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "attach:", err)
+		os.Exit(1)
+	}
+	cli := rpc.NewClient(eng, transport.New(eng, cfg.Transport, cn))
+	cli.Timeout = sim.Duration(sim.Second)
+	return &ctl{eng: eng, dpu: d, cli: cli}
+}
+
+// call performs one synchronous control RPC (driving the simulator to
+// completion).
+func (c *ctl) call(method string, arg any, argBytes int) (any, error) {
+	var out any
+	var cerr error
+	c.cli.Call(c.dpu.ControlAddr(), method, arg, argBytes, func(val any, err error) {
+		out, cerr = val, err
+	})
+	c.eng.Run()
+	return out, cerr
+}
+
+func (c *ctl) status() {
+	val, err := c.call(core.ShellStatus, nil, 64)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "status:", err)
+		os.Exit(1)
+	}
+	st := val.(core.Status)
+	fmt.Printf("%s @ t=%v\n", st.Name, c.eng.Now())
+	for _, line := range st.Enum {
+		fmt.Println("  pcie:", line)
+	}
+	for _, s := range st.Slots {
+		fmt.Println("  ", s)
+	}
+	fmt.Printf("  free: %d LUTs, %d BRAM, %d DSP; %d segments live\n",
+		st.Free.LUTs, st.Free.BRAM, st.Free.DSP, st.Segments)
+}
+
+func bitstream(mib int64, tag string) *fabric.Bitstream {
+	return &fabric.Bitstream{
+		Name:      fmt.Sprintf("op-%dM", mib),
+		SizeBytes: mib << 20,
+		Uses:      fabric.Resources{LUTs: 30000, FFs: 50000, BRAM: 32},
+		Depth:     16,
+		II:        1,
+		AuthTag:   tag,
+		Process:   func(in any) any { return in },
+	}
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: hyperionctl status | load | unload | session")
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	c := dial()
+	switch cmd {
+	case "status":
+		c.status()
+	case "load":
+		fs := flag.NewFlagSet("load", flag.ExitOnError)
+		slot := fs.Int("slot", 0, "target slot")
+		mib := fs.Int64("mib", 8, "bitstream size in MiB")
+		forge := fs.Bool("forge", false, "use a forged auth tag")
+		_ = fs.Parse(args)
+		tag := c.dpu.Cfg.AuthTag
+		if *forge {
+			tag = "forged-key"
+		}
+		t0 := c.eng.Now()
+		_, err := c.call(core.ShellLoad, core.LoadArgs{Slot: *slot, Bitstream: bitstream(*mib, tag)}, int(*mib)<<20)
+		if err != nil {
+			fmt.Println("load rejected:", err)
+			return
+		}
+		fmt.Printf("slot %d active after %v partial reconfiguration\n", *slot, c.eng.Now().Sub(t0))
+	case "unload":
+		fs := flag.NewFlagSet("unload", flag.ExitOnError)
+		slot := fs.Int("slot", 0, "target slot")
+		_ = fs.Parse(args)
+		if _, err := c.call(core.ShellUnload, *slot, 64); err != nil {
+			fmt.Fprintln(os.Stderr, "unload:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("slot %d unloaded\n", *slot)
+	case "session":
+		fmt.Println("== ping ==")
+		pong, err := c.call(core.ShellPing, nil, 64)
+		fmt.Println("  ", pong, err)
+		fmt.Println("== initial status ==")
+		c.status()
+		fmt.Println("== load 16 MiB bitstream into slot 1 ==")
+		t0 := c.eng.Now()
+		if _, err := c.call(core.ShellLoad, core.LoadArgs{Slot: 1, Bitstream: bitstream(16, c.dpu.Cfg.AuthTag)}, 16<<20); err != nil {
+			fmt.Fprintln(os.Stderr, "load:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("   active after %v\n", c.eng.Now().Sub(t0))
+		fmt.Println("== forged bitstream is rejected ==")
+		if _, err := c.call(core.ShellLoad, core.LoadArgs{Slot: 2, Bitstream: bitstream(8, "forged")}, 8<<20); err != nil {
+			fmt.Println("   rejected:", err)
+		} else {
+			fmt.Println("   UNEXPECTEDLY ACCEPTED")
+		}
+		fmt.Println("== status after load ==")
+		c.status()
+		fmt.Println("== unload slot 1 ==")
+		if _, err := c.call(core.ShellUnload, 1, 64); err != nil {
+			fmt.Fprintln(os.Stderr, "unload:", err)
+			os.Exit(1)
+		}
+		c.status()
+	default:
+		fmt.Fprintln(os.Stderr, "unknown command", cmd)
+		os.Exit(2)
+	}
+}

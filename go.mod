@@ -1,0 +1,3 @@
+module hyperion
+
+go 1.22

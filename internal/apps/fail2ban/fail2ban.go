@@ -1,0 +1,208 @@
+// Package fail2ban is the paper's first pure-Hyperion workload (§2.4): a
+// high-volume network middleware that filters brute-force attackers at
+// line rate. The per-packet logic is a verified eBPF program compiled
+// into a fabric slot: it checks a ban map, counts authentication
+// failures per source, and bans sources that cross the threshold. Ban
+// events and counters persist to the DPU's attached SSDs through the
+// segment store — the traffic-proportional state that motivates pairing
+// the middlebox with storage.
+package fail2ban
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"hyperion/internal/core"
+	"hyperion/internal/ebpf"
+	"hyperion/internal/ehdl"
+	"hyperion/internal/seg"
+	"hyperion/internal/trace"
+)
+
+// Verdicts returned by the packet program.
+const (
+	VerdictPass   = 0
+	VerdictDrop   = 1
+	VerdictBanned = 2 // this packet triggered a new ban
+)
+
+// Filter is a deployed fail2ban instance.
+type Filter struct {
+	dpu       *core.DPU
+	slot      int
+	pipe      *ehdl.Pipeline
+	bans      *ebpf.HashMap
+	fails     *ebpf.HashMap
+	logID     seg.ObjectID
+	logOff    int64
+	Threshold int
+
+	Passed, Dropped, Banned int64
+}
+
+// logEntrySize is one persisted ban record: srcIP(4) pad(4) time(8).
+const logEntrySize = 16
+
+// logCapacity bounds the persistent ban log object.
+const logCapacity = 1 << 20
+
+// Program returns the packet-filter eBPF source for a given ban
+// threshold. Context layout is trace.Packet.Marshal: srcIP at 0,
+// authFail at 18. Map 0 is bans (u32→u64), map 1 is failure counts
+// (u32→u64).
+func Program(threshold int) string {
+	return fmt.Sprintf(`
+	; r9 = ctx (saved across helper calls)
+	mov r9, r1
+	ldxw r6, [r9+0]       ; src ip
+	ldxb r7, [r9+18]      ; auth failure flag
+	stxw [r10-4], r6      ; key = src ip
+	mov r1, 0             ; bans map
+	mov r2, r10
+	sub r2, 4
+	call 1
+	jeq r0, 0, notbanned
+	mov r0, %d            ; already banned: drop
+	exit
+notbanned:
+	jeq r7, 0, pass       ; clean packet
+	mov r1, 1             ; failure-count map
+	mov r2, r10
+	sub r2, 4
+	call 1
+	jeq r0, 0, first
+	ldxdw r3, [r0+0]
+	add r3, 1
+	stxdw [r0+0], r3      ; increment in place
+	jge r3, %d, ban
+	ja pass
+first:
+	stdw [r10-16], 1      ; first failure
+	mov r1, 1
+	mov r2, r10
+	sub r2, 4
+	mov r3, r10
+	sub r3, 16
+	call 2
+	ja pass
+ban:
+	stdw [r10-16], 1
+	mov r1, 0             ; bans map
+	mov r2, r10
+	sub r2, 4
+	mov r3, r10
+	sub r3, 16
+	call 2
+	mov r0, %d            ; newly banned
+	exit
+pass:
+	mov r0, %d
+	exit
+`, VerdictDrop, threshold, VerdictBanned, VerdictPass)
+}
+
+// Deploy compiles the filter, loads it into a fabric slot, and
+// allocates the persistent ban log. done fires when the slot is active.
+func Deploy(d *core.DPU, slot, threshold int, done func()) (*Filter, error) {
+	maps := &ebpf.MapSet{}
+	bans := ebpf.NewHashMap(4, 8, 1<<16)
+	fails := ebpf.NewHashMap(4, 8, 1<<16)
+	maps.Add(bans)  // id 0
+	maps.Add(fails) // id 1
+
+	prog, err := ebpf.Assemble(Program(threshold))
+	if err != nil {
+		return nil, err
+	}
+	vcfg := ebpf.DefaultVerifierConfig(maps)
+	vcfg.CtxSize = 20
+	pipe, err := ehdl.Compile(prog, ehdl.Options{
+		Name:     "fail2ban",
+		AuthTag:  d.Cfg.AuthTag,
+		Optimize: true,
+		CtxBytes: 20,
+		Verifier: vcfg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	f := &Filter{dpu: d, slot: slot, pipe: pipe, bans: bans, fails: fails,
+		Threshold: threshold, logID: seg.OID(0xFA12, 1)}
+	if _, err := d.Store.Alloc(f.logID, logCapacity, true, seg.HintAuto); err != nil {
+		return nil, err
+	}
+	if err := d.LoadAccelerator(slot, pipe.Bitstream(), done); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Process runs one packet through the slot. verdict receives the
+// program's decision after the pipeline latency (plus log persistence
+// for new bans).
+func (f *Filter) Process(p trace.Packet, verdict func(v int)) error {
+	ctx := p.Marshal()
+	return f.dpu.Submit(f.slot, ctx, func(out any) {
+		res, ok := out.(*ehdl.Result)
+		if !ok || res.Err != nil {
+			verdict(VerdictDrop)
+			return
+		}
+		v := int(res.Ret)
+		switch v {
+		case VerdictPass:
+			f.Passed++
+		case VerdictDrop:
+			f.Dropped++
+		case VerdictBanned:
+			f.Dropped++
+			f.Banned++
+			f.persistBan(p.SrcIP)
+		}
+		verdict(v)
+	})
+}
+
+// persistBan appends a ban record to the durable log.
+func (f *Filter) persistBan(src uint32) {
+	if f.logOff+logEntrySize > logCapacity {
+		return // log full; real deployment would rotate
+	}
+	rec := make([]byte, logEntrySize)
+	binary.LittleEndian.PutUint32(rec, src)
+	binary.LittleEndian.PutUint64(rec[8:], uint64(f.dpu.Eng.Now()))
+	off := f.logOff
+	f.logOff += logEntrySize
+	f.dpu.Store.Write(f.logID, off, rec, nil)
+}
+
+// BannedSources reads the persistent ban log back (control-plane use).
+func (f *Filter) BannedSources(cb func([]uint32, error)) {
+	n := f.logOff / logEntrySize
+	if n == 0 {
+		cb(nil, nil)
+		return
+	}
+	f.dpu.Store.Read(f.logID, 0, f.logOff, func(data []byte, err error) {
+		if err != nil {
+			cb(nil, err)
+			return
+		}
+		out := make([]uint32, 0, n)
+		for i := int64(0); i < n; i++ {
+			out = append(out, binary.LittleEndian.Uint32(data[i*logEntrySize:]))
+		}
+		cb(out, nil)
+	})
+}
+
+// IsBanned checks the ban map directly (control plane).
+func (f *Filter) IsBanned(src uint32) bool {
+	var key [4]byte
+	binary.LittleEndian.PutUint32(key[:], src)
+	_, ok := f.bans.Lookup(key[:])
+	return ok
+}
+
+// Pipeline exposes compile statistics.
+func (f *Filter) Pipeline() *ehdl.Pipeline { return f.pipe }

@@ -1,0 +1,162 @@
+// Package lb is the Tiara-style stateful layer-4 load balancer of §2.4:
+// per-connection state lives in on-card DRAM while hot, and spills to
+// the attached NVMe SSDs when the table outgrows memory — where Tiara
+// had to punt overflow state to x86 servers, Hyperion keeps it local on
+// flash. Lookup cost is charged through the segment store's cost model.
+package lb
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"hyperion/internal/seg"
+	"hyperion/internal/sim"
+	"hyperion/internal/storage/kvssd"
+	"hyperion/internal/trace"
+)
+
+// Backend identifies one real server behind the VIP.
+type Backend struct {
+	Addr   uint32
+	Weight int
+}
+
+// Balancer is one deployed L4 load balancer.
+type Balancer struct {
+	v        *seg.SyncView
+	backends []Backend
+	// Hot connection table: DRAM-resident, bounded (models on-card
+	// SRAM/DRAM capacity in connection entries).
+	hot     map[uint64]uint32
+	hotCap  int
+	hotCost sim.Duration // per hot-table access
+	// Spill store on NVMe.
+	spill *kvssd.KV
+
+	Hits, SpillHits, Misses, Spills, NewConns, Closed int64
+}
+
+// New creates a balancer with the given hot-table capacity (entries).
+func New(v *seg.SyncView, metaID seg.ObjectID, backends []Backend, hotCap int) (*Balancer, error) {
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("lb: need at least one backend")
+	}
+	spill, err := kvssd.Create(v, metaID, kvssd.BackendBTree, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Balancer{
+		v:        v,
+		backends: backends,
+		hot:      make(map[uint64]uint32),
+		hotCap:   hotCap,
+		hotCost:  200 * sim.Nanosecond,
+		spill:    spill,
+	}, nil
+}
+
+// flowKey hashes the 5-tuple.
+func flowKey(p trace.Packet) uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	mix(uint64(p.SrcIP))
+	mix(uint64(p.DstIP))
+	mix(uint64(p.SrcPort))
+	mix(uint64(p.DstPort))
+	mix(uint64(p.Proto))
+	return h
+}
+
+func keyBytes(k uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], k)
+	return b[:]
+}
+
+// pickBackend selects a backend for a new flow (weighted by position;
+// flow-hash affinity keeps selection deterministic).
+func (b *Balancer) pickBackend(k uint64) uint32 {
+	return b.backends[k%uint64(len(b.backends))].Addr
+}
+
+// Steer processes one packet and returns the backend address it should
+// go to (0 for packets on unknown flows that are not SYNs). The modeled
+// cost of the decision accrues on the balancer's SyncView.
+func (b *Balancer) Steer(p trace.Packet) (uint32, error) {
+	k := flowKey(p)
+	b.v.Charge(b.hotCost)
+	if p.Flags == 0x02 { // SYN: new connection
+		b.NewConns++
+		dst := b.pickBackend(k)
+		b.insert(k, dst)
+		return dst, nil
+	}
+	if dst, ok := b.hot[k]; ok {
+		b.Hits++
+		if p.Flags == 0x01 { // FIN
+			delete(b.hot, k)
+			b.Closed++
+		}
+		return dst, nil
+	}
+	// Cold path: consult the spill store on NVMe.
+	val, ok, err := b.spill.Get(keyBytes(k))
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		b.Misses++
+		return 0, nil
+	}
+	b.SpillHits++
+	dst := binary.LittleEndian.Uint32(val)
+	if p.Flags == 0x01 { // FIN
+		if _, err := b.spill.Delete(keyBytes(k)); err != nil {
+			return 0, err
+		}
+		b.Closed++
+		return dst, nil
+	}
+	// Promote the reactivated flow back into DRAM.
+	b.insert(k, dst)
+	if _, err := b.spill.Delete(keyBytes(k)); err != nil {
+		return 0, err
+	}
+	return dst, nil
+}
+
+// insert places a flow in the hot table, spilling a victim to NVMe when
+// at capacity.
+func (b *Balancer) insert(k uint64, dst uint32) {
+	if len(b.hot) >= b.hotCap {
+		// Evict an arbitrary victim (hardware would use CLOCK; map
+		// iteration order is effectively random which is close enough —
+		// and deterministic per seed because Go map order is the only
+		// nondeterminism; pick the smallest key instead to stay fully
+		// reproducible).
+		var victim uint64
+		first := true
+		for vk := range b.hot {
+			if first || vk < victim {
+				victim, first = vk, false
+			}
+		}
+		var val [4]byte
+		binary.LittleEndian.PutUint32(val[:], b.hot[victim])
+		if err := b.spill.Put(keyBytes(victim), val[:]); err == nil {
+			b.Spills++
+			delete(b.hot, victim)
+		}
+	}
+	b.hot[k] = dst
+}
+
+// HotLen returns the hot-table occupancy.
+func (b *Balancer) HotLen() int { return len(b.hot) }
+
+// SpilledApprox reports how many spills occurred (spill-store occupancy
+// proxy).
+func (b *Balancer) SpilledApprox() int64 { return b.Spills }

@@ -1,0 +1,108 @@
+package baseline
+
+import (
+	"testing"
+
+	"hyperion/internal/sim"
+)
+
+func TestTable1PathsShape(t *testing.T) {
+	paths := Table1Paths()
+	if len(paths) != 6 {
+		t.Fatalf("rows = %d, want 6 (one per Table 1 row)", len(paths))
+	}
+	hy := HyperionPath().Totals()
+	if hy.CPUTouches != 0 {
+		t.Fatalf("hyperion path touches the CPU %d times", hy.CPUTouches)
+	}
+	if hy.Copies != 0 {
+		t.Fatalf("hyperion path copies %d times", hy.Copies)
+	}
+	for _, p := range paths {
+		tot := p.Totals()
+		if tot.CPUTouches == 0 {
+			t.Errorf("%s: CPU-centric path with zero CPU touches", p.Model)
+		}
+		if tot.Latency <= hy.Latency {
+			t.Errorf("%s: latency %v not above hyperion %v", p.Model, tot.Latency, hy.Latency)
+		}
+		if p.Lacks == "" {
+			t.Errorf("%s: missing Table-1 gap description", p.Model)
+		}
+	}
+}
+
+func TestTimeSharedCPUJitter(t *testing.T) {
+	eng := sim.NewEngine(42)
+	cpu := NewTimeSharedCPU(eng, 4)
+	var lat sim.LatencyRecorder
+	const n = 2000
+	done := 0
+	// Paced open-loop arrivals at moderate utilization, so the recorded
+	// tail reflects scheduling noise rather than pure queueing backlog.
+	for i := 0; i < n; i++ {
+		at := sim.Time(i) * sim.Time(20*sim.Microsecond)
+		eng.At(at, "arrive", func() {
+			start := eng.Now()
+			cpu.Serve(10*sim.Microsecond, func() {
+				lat.Record(eng.Now().Sub(start))
+				done++
+			})
+		})
+	}
+	eng.Run()
+	if done != n {
+		t.Fatalf("served %d/%d", done, n)
+	}
+	// Time sharing must produce a heavy tail: p99 well above p50.
+	if lat.Percentile(99) < lat.Percentile(50)*2 {
+		t.Fatalf("p99 %v vs p50 %v: expected heavy tail", lat.Percentile(99), lat.Percentile(50))
+	}
+}
+
+func TestTimeSharedCPUDeterministicPerSeed(t *testing.T) {
+	run := func() sim.Duration {
+		eng := sim.NewEngine(7)
+		cpu := NewTimeSharedCPU(eng, 2)
+		var last sim.Time
+		for i := 0; i < 100; i++ {
+			cpu.Serve(5*sim.Microsecond, func() { last = eng.Now() })
+		}
+		eng.Run()
+		return last.Sub(0)
+	}
+	if run() != run() {
+		t.Fatal("same seed produced different schedules")
+	}
+}
+
+func TestPageWalkerCosts(t *testing.T) {
+	w := NewPageWalker(64)
+	// Cold miss: up to 4 DRAM accesses.
+	cold := w.Translate(12345)
+	if cold < 2*w.DRAMTime || cold > 4*w.DRAMTime {
+		t.Fatalf("cold walk = %v, want 2-4 DRAM accesses", cold)
+	}
+	// Hot hit: free.
+	if hot := w.Translate(12345); hot != 0 {
+		t.Fatalf("TLB hit cost %v, want 0", hot)
+	}
+	if w.TLBHits != 1 {
+		t.Fatalf("TLB hits = %d", w.TLBHits)
+	}
+	// Neighbouring page in the same region: PWC absorbs upper levels.
+	warm := w.Translate(12346)
+	if warm != w.DRAMTime {
+		t.Fatalf("PWC-warm walk = %v, want 1 DRAM access", warm)
+	}
+}
+
+func TestPageWalkerEviction(t *testing.T) {
+	w := NewPageWalker(4)
+	for p := uint64(0); p < 100; p++ {
+		w.Translate(p << 9) // distinct PD entries, defeat PWC reuse
+	}
+	if w.Translate(0) == 0 {
+		t.Fatal("expected TLB eviction to force a walk")
+	}
+}

@@ -1,0 +1,73 @@
+// Package bench implements the paper-reproduction harness: one function
+// per experiment in DESIGN.md's index (E1–E14), each regenerating the
+// corresponding table or figure of the HotOS'23 paper as printable rows.
+// cmd/benchctl runs them from the command line; the repository-root
+// bench_test.go wraps them as testing.B benchmarks; EXPERIMENTS.md
+// records their output against the paper's claims.
+package bench
+
+import (
+	"fmt"
+
+	"hyperion/internal/sim"
+)
+
+// Result is one experiment's rendered output.
+type Result struct {
+	ID    string
+	Title string
+	Table sim.Table
+	Notes []string
+}
+
+// String renders the result.
+func (r Result) String() string {
+	out := fmt.Sprintf("== %s: %s ==\n%s", r.ID, r.Title, r.Table.String())
+	for _, n := range r.Notes {
+		out += "   " + n + "\n"
+	}
+	return out
+}
+
+// Experiment couples an id with its runner.
+type Experiment struct {
+	ID   string
+	Name string
+	Run  func() Result
+}
+
+// All returns every experiment in order.
+func All() []Experiment {
+	return []Experiment{
+		{"E1", "table1", Table1},
+		{"E2", "fig2", Fig2},
+		{"E3", "energy", Energy},
+		{"E4", "reconfig", Reconfig},
+		{"E5", "jitter", Predictability},
+		{"E6", "segtable", SegmentVsPage},
+		{"E7", "chase", PointerChase},
+		{"E8", "fail2ban", Fail2ban},
+		{"E9", "lb", LoadBalancer},
+		{"E10", "ebpf", EBPFPipeline},
+		{"E11", "corfu", Corfu},
+		{"E12", "scan", ColumnarScan},
+		{"E13", "kv", KVStore},
+		{"E14", "nvmeof", NVMeoF},
+		// Extensions beyond the paper's own artifacts.
+		{"X1", "cluster", ClusterScaleOut},
+	}
+}
+
+// ByName finds an experiment by id or name.
+func ByName(s string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == s || e.Name == s {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func itoa(n int64) string { return fmt.Sprintf("%d", n) }

@@ -1,0 +1,221 @@
+// Package cluster explores the paper's §4 question — "how should one
+// build CPU-free distributed applications ... over multiple DPUs?" — in
+// the C1/C2 styles of §2.4: a rack of self-hosting Hyperion DPUs, each
+// serving a KV shard from its own SSDs, with MICA-style client-driven
+// request routing (the client hashes the key to the owning DPU; no
+// coordinator in the path) and R-way replication for fault tolerance.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"hyperion/internal/core"
+	"hyperion/internal/netsim"
+	"hyperion/internal/rpc"
+	"hyperion/internal/seg"
+	"hyperion/internal/sim"
+	"hyperion/internal/storage/kvssd"
+	"hyperion/internal/transport"
+)
+
+// KV method names served by every DPU.
+const (
+	MethodGet = "ckv.get"
+	MethodPut = "ckv.put"
+)
+
+// PutArgs carries a replicated write.
+type PutArgs struct {
+	Key, Value []byte
+}
+
+// Errors.
+var (
+	ErrNoReplicas = errors.New("cluster: all replicas down")
+	ErrNotFound   = errors.New("cluster: key not found")
+)
+
+// Node is one DPU serving a shard.
+type Node struct {
+	DPU  *core.DPU
+	KV   *kvssd.KV
+	down bool
+
+	Gets, Puts int64
+}
+
+// Cluster is a set of KV-serving DPUs on one fabric.
+type Cluster struct {
+	Eng   *sim.Engine
+	Net   *netsim.Network
+	Nodes []*Node
+	// Replicas is the copies kept per key (including the primary).
+	Replicas int
+}
+
+// New boots n DPUs, each with a durable B+-tree-indexed KV shard, and
+// registers the KV service on their control planes.
+func New(eng *sim.Engine, net *netsim.Network, n, replicas int) (*Cluster, error) {
+	if replicas < 1 || replicas > n {
+		return nil, fmt.Errorf("cluster: replicas %d out of range for %d nodes", replicas, n)
+	}
+	c := &Cluster{Eng: eng, Net: net, Replicas: replicas}
+	for i := 0; i < n; i++ {
+		cfg := core.DefaultConfig(fmt.Sprintf("dpu%d", i))
+		cfg.NVMe.Blocks = 1 << 20
+		cfg.Seg.DRAMBytes = 64 << 20
+		cfg.Seg.CheckpointEvery = 0
+		d, _, err := core.Boot(eng, net, cfg)
+		if err != nil {
+			return nil, err
+		}
+		kv, err := kvssd.Create(d.View, seg.OID(0x4B, 0), kvssd.BackendBTree, true)
+		if err != nil {
+			return nil, err
+		}
+		node := &Node{DPU: d, KV: kv}
+		c.Nodes = append(c.Nodes, node)
+		c.serve(node)
+	}
+	return c, nil
+}
+
+func (c *Cluster) serve(n *Node) {
+	d := n.DPU
+	d.CtrlSrv.Handle(MethodGet, func(arg any, respond func(any, int, error)) {
+		if n.down {
+			return // dead nodes do not answer; clients time out
+		}
+		key, ok := arg.([]byte)
+		if !ok {
+			respond(nil, 0, fmt.Errorf("cluster: bad get args %T", arg))
+			return
+		}
+		n.Gets++
+		val, found, err := n.KV.Get(key)
+		d.View.Complete(c.Eng, "ckv.get", func() {
+			if err != nil {
+				respond(nil, 64, err)
+				return
+			}
+			if !found {
+				respond(nil, 64, ErrNotFound)
+				return
+			}
+			respond(val, len(val)+64, nil)
+		})
+	})
+	d.CtrlSrv.Handle(MethodPut, func(arg any, respond func(any, int, error)) {
+		if n.down {
+			return
+		}
+		pa, ok := arg.(PutArgs)
+		if !ok {
+			respond(nil, 0, fmt.Errorf("cluster: bad put args %T", arg))
+			return
+		}
+		n.Puts++
+		err := n.KV.Put(pa.Key, pa.Value)
+		d.View.Complete(c.Eng, "ckv.put", func() { respond(true, 64, err) })
+	})
+}
+
+// MarkDown simulates a node failure (it stops answering).
+func (c *Cluster) MarkDown(i int) { c.Nodes[i].down = true }
+
+// MarkUp revives a node.
+func (c *Cluster) MarkUp(i int) { c.Nodes[i].down = false }
+
+// shardOf hashes a key to its primary node.
+func shardOf(key []byte, n int) int {
+	h := uint64(14695981039346656037)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return int(h % uint64(n))
+}
+
+// ReplicaSet returns the node indexes holding a key (primary first).
+func (c *Cluster) ReplicaSet(key []byte) []int {
+	p := shardOf(key, len(c.Nodes))
+	out := make([]int, 0, c.Replicas)
+	for j := 0; j < c.Replicas; j++ {
+		out = append(out, (p+j)%len(c.Nodes))
+	}
+	return out
+}
+
+// Router is the client-side: it owns the shard map and drives requests
+// straight to the owning DPU (client-driven routing; the "smartness"
+// lives with the client, per passive disaggregation).
+type Router struct {
+	c   *Cluster
+	cli *rpc.Client
+	// FailoverTimeout bounds how long to wait before trying the next
+	// replica on reads.
+	FailoverTimeout sim.Duration
+
+	Routed, Failovers int64
+}
+
+// NewRouter attaches a client host to the fabric.
+func NewRouter(c *Cluster, name netsim.Addr) (*Router, error) {
+	nic, err := c.Net.Attach(name)
+	if err != nil {
+		return nil, err
+	}
+	cli := rpc.NewClient(c.Eng, transport.New(c.Eng, transport.RDMA, nic))
+	cli.Timeout = 2 * sim.Millisecond
+	return &Router{c: c, cli: cli, FailoverTimeout: 2 * sim.Millisecond}, nil
+}
+
+// Put writes to every replica; cb fires when all acks (or any error)
+// arrive.
+func (r *Router) Put(key, value []byte, cb func(error)) {
+	set := r.c.ReplicaSet(key)
+	r.Routed++
+	pending := len(set)
+	var firstErr error
+	for _, idx := range set {
+		addr := r.c.Nodes[idx].DPU.ControlAddr()
+		r.cli.Call(addr, MethodPut, PutArgs{Key: key, Value: value}, len(key)+len(value)+64, func(_ any, err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			pending--
+			if pending == 0 {
+				cb(firstErr)
+			}
+		})
+	}
+}
+
+// Get reads from the primary, failing over to the next replica when a
+// node does not answer.
+func (r *Router) Get(key []byte, cb func(val []byte, err error)) {
+	set := r.c.ReplicaSet(key)
+	r.Routed++
+	r.tryGet(key, set, 0, cb)
+}
+
+func (r *Router) tryGet(key []byte, set []int, attempt int, cb func([]byte, error)) {
+	if attempt >= len(set) {
+		cb(nil, ErrNoReplicas)
+		return
+	}
+	addr := r.c.Nodes[set[attempt]].DPU.ControlAddr()
+	r.cli.Call(addr, MethodGet, key, len(key)+64, func(val any, err error) {
+		if errors.Is(err, rpc.ErrTimeout) {
+			r.Failovers++
+			r.tryGet(key, set, attempt+1, cb)
+			return
+		}
+		if err != nil {
+			cb(nil, err)
+			return
+		}
+		cb(val.([]byte), nil)
+	})
+}

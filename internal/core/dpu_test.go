@@ -1,0 +1,245 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"hyperion/internal/fabric"
+	"hyperion/internal/netsim"
+	"hyperion/internal/rpc"
+	"hyperion/internal/seg"
+	"hyperion/internal/sim"
+	"hyperion/internal/transport"
+)
+
+func bootTest(t testing.TB) (*sim.Engine, *netsim.Network, *DPU) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	net := netsim.New(eng, netsim.DefaultConfig())
+	cfg := DefaultConfig("dpu0")
+	cfg.NVMe.Blocks = 1 << 20
+	cfg.Seg.DRAMBytes = 64 << 20
+	d, _, err := Boot(eng, net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, net, d
+}
+
+func TestBootEnumeratesFourSSDs(t *testing.T) {
+	_, _, d := bootTest(t)
+	enum := d.Enumeration()
+	if len(enum) != 4 {
+		t.Fatalf("enumeration lines = %d, want 4", len(enum))
+	}
+	for i, line := range enum {
+		if !strings.Contains(line, "ssd") || !strings.Contains(line, "x4") {
+			t.Errorf("port %d: %q", i, line)
+		}
+	}
+}
+
+func TestBootSelfTestFails(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cfg := DefaultConfig("bad")
+	cfg.Fabric.Slots = 0
+	if _, _, err := Boot(eng, nil, cfg); !errors.Is(err, ErrSelfTest) {
+		t.Fatalf("err = %v, want ErrSelfTest", err)
+	}
+}
+
+func TestSegmentStoreWorksThroughDPU(t *testing.T) {
+	eng, _, d := bootTest(t)
+	id := seg.OID(1, 1)
+	if _, err := d.Store.Alloc(id, 8192, true, seg.HintAuto); err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("through the whole stack")
+	var werr error
+	d.Store.Write(id, 0, payload, func(err error) { werr = err })
+	eng.Run()
+	if werr != nil {
+		t.Fatal(werr)
+	}
+	var got []byte
+	d.Store.Read(id, 0, int64(len(payload)), func(data []byte, err error) { got = data })
+	eng.Run()
+	if string(got) != string(payload) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestShellPingStatusOverNetwork(t *testing.T) {
+	eng, net, d := bootTest(t)
+	cn, _ := net.Attach("operator")
+	cli := rpc.NewClient(eng, transport.New(eng, transport.RDMA, cn))
+	var pong any
+	cli.Call(d.ControlAddr(), ShellPing, nil, 64, func(val any, err error) {
+		if err != nil {
+			t.Error(err)
+		}
+		pong = val
+	})
+	eng.Run()
+	if pong != "pong:dpu0" {
+		t.Fatalf("pong = %v", pong)
+	}
+	var st Status
+	cli.Call(d.ControlAddr(), ShellStatus, nil, 64, func(val any, err error) {
+		if err != nil {
+			t.Error(err)
+		}
+		st = val.(Status)
+	})
+	eng.Run()
+	if len(st.Slots) != 5 || st.Name != "dpu0" {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+func TestShellLoadUnloadOverNetwork(t *testing.T) {
+	eng, net, d := bootTest(t)
+	cn, _ := net.Attach("operator")
+	cli := rpc.NewClient(eng, transport.New(eng, transport.RDMA, cn))
+	cli.Timeout = sim.Duration(sim.Second)
+	bs := ProbeBitstream(d.Cfg.AuthTag)
+	var loadedAt sim.Time
+	cli.Call(d.ControlAddr(), ShellLoad, LoadArgs{Slot: 0, Bitstream: bs}, 4<<20, func(val any, err error) {
+		if err != nil {
+			t.Error(err)
+		}
+		loadedAt = eng.Now()
+	})
+	eng.Run()
+	// Reply arrives only after the ≥10ms partial reconfiguration.
+	if loadedAt.Sub(0) < 10*sim.Millisecond {
+		t.Fatalf("load acknowledged at %v, before reconfig window", loadedAt)
+	}
+	s, _ := d.Fabric.Slot(0)
+	if s.State != fabric.SlotActive {
+		t.Fatalf("slot state = %v", s.State)
+	}
+	var unloaded bool
+	cli.Call(d.ControlAddr(), ShellUnload, 0, 64, func(val any, err error) {
+		if err != nil {
+			t.Error(err)
+		}
+		unloaded = true
+	})
+	eng.Run()
+	if !unloaded || s.State != fabric.SlotEmpty {
+		t.Fatalf("unload failed: %v %v", unloaded, s.State)
+	}
+}
+
+func TestShellRejectsForgedBitstream(t *testing.T) {
+	eng, net, d := bootTest(t)
+	cn, _ := net.Attach("attacker")
+	cli := rpc.NewClient(eng, transport.New(eng, transport.RDMA, cn))
+	bs := ProbeBitstream("forged-key")
+	var got error
+	cli.Call(d.ControlAddr(), ShellLoad, LoadArgs{Slot: 0, Bitstream: bs}, 4<<20, func(val any, err error) { got = err })
+	eng.Run()
+	if got == nil || !strings.Contains(got.Error(), "authorized") {
+		t.Fatalf("forged load err = %v", got)
+	}
+}
+
+func TestRawPortHandlersViaDemux(t *testing.T) {
+	eng, net, d := bootTest(t)
+	var got []uint16
+	d.HandleRawPort(7, func(f netsim.Frame) {
+		rf := f.Payload.(RawFrame)
+		got = append(got, rf.Port)
+	})
+	src, _ := net.Attach("sender")
+	_ = src.Send(netsim.Frame{Dst: d.DataAddr(), Payload: RawFrame{Port: 7}, Bytes: 100})
+	_ = src.Send(netsim.Frame{Dst: d.DataAddr(), Payload: RawFrame{Port: 99}, Bytes: 100}) // no handler
+	eng.Run()
+	if len(got) != 1 || got[0] != 7 {
+		t.Fatalf("handled = %v", got)
+	}
+	if d.Counters.Value("no_handler") != 1 {
+		t.Fatalf("no_handler = %d", d.Counters.Value("no_handler"))
+	}
+}
+
+func TestFig2ProbeStages(t *testing.T) {
+	eng, _, d := bootTest(t)
+	if err := d.LoadAccelerator(0, ProbeBitstream(d.Cfg.AuthTag), nil); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	var tr Fig2Trace
+	var data []byte
+	err := d.Fig2Probe(0, 1, 100, 2, func(got Fig2Trace, d []byte, err error) {
+		if err != nil {
+			t.Error(err)
+		}
+		tr, data = got, d
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if len(data) != 8192 {
+		t.Fatalf("data = %d bytes", len(data))
+	}
+	if tr.Arbiter <= 0 || tr.Pipeline <= 0 || tr.Storage <= 0 || tr.Egress <= 0 {
+		t.Fatalf("stages not all positive: %+v", tr)
+	}
+	if tr.Total != tr.Arbiter+tr.Pipeline+tr.Storage+tr.Egress {
+		t.Fatalf("total %v != sum of stages", tr.Total)
+	}
+	// Flash dominates the unloaded path.
+	if tr.Storage < tr.Total/2 {
+		t.Fatalf("storage %v not dominant in %v", tr.Storage, tr.Total)
+	}
+	// Pipeline is deterministic: depth × clock period.
+	want := d.Fabric.Cycles(24)
+	if tr.Pipeline != want {
+		t.Fatalf("pipeline = %v, want %v", tr.Pipeline, want)
+	}
+}
+
+func TestFig2ProbeErrors(t *testing.T) {
+	eng, _, d := bootTest(t)
+	_ = eng
+	if err := d.Fig2Probe(0, 99, 0, 1, func(Fig2Trace, []byte, error) {}); err == nil {
+		t.Fatal("bad ssd accepted")
+	}
+	// Empty slot: reply carries the error.
+	var got error
+	if err := d.Fig2Probe(0, 0, 0, 1, func(_ Fig2Trace, _ []byte, err error) { got = err }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if got == nil {
+		t.Fatal("probe through empty slot succeeded")
+	}
+}
+
+func BenchmarkFig2Probe(b *testing.B) {
+	eng := sim.NewEngine(1)
+	cfg := DefaultConfig("bench")
+	cfg.NVMe.Blocks = 1 << 20
+	cfg.Seg.DRAMBytes = 64 << 20
+	d, _, err := Boot(eng, nil, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := d.LoadAccelerator(0, ProbeBitstream(cfg.AuthTag), nil); err != nil {
+		b.Fatal(err)
+	}
+	eng.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = d.Fig2Probe(0, i%4, int64(i%1000), 1, func(Fig2Trace, []byte, error) {})
+		if i%64 == 0 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+
+	"hyperion/internal/fabric"
+	"hyperion/internal/sim"
+)
+
+// Fig2Trace times each stage of the Figure 2 datapath for one request:
+// QSFP ingress → DEMUX/AXIS arbiter → eHDL accelerator slot → NVMe host
+// IP core → PCIe x4 bridge → SSD flash → and back out.
+type Fig2Trace struct {
+	Arbiter  sim.Duration // DEMUX + AXIS serialization
+	Pipeline sim.Duration // accelerator slot latency
+	Storage  sim.Duration // NVMe command incl. on-card PCIe DMA
+	Egress   sim.Duration // response serialization to QSFP
+	Total    sim.Duration
+}
+
+// ProbeBitstream returns a small identity accelerator used by the
+// Figure 2 probe (depth ≈ a realistic parse/steer pipeline).
+func ProbeBitstream(authTag string) *fabric.Bitstream {
+	return &fabric.Bitstream{
+		Name:      "fig2-probe",
+		SizeBytes: 4 << 20,
+		Uses:      fabric.Resources{LUTs: 20000, FFs: 30000, BRAM: 16},
+		Depth:     24,
+		II:        1,
+		AuthTag:   authTag,
+		Process:   func(in any) any { return in },
+	}
+}
+
+// Fig2Probe drives one end-to-end request through the full hardware
+// path: a frame-sized item crosses the arbiter into the slot, the
+// pipeline processes it, the NVMe host IP core reads blocks from the
+// SSD that owns the LBA, and the response serializes back out. reply
+// receives the stage trace and the data.
+func (d *DPU) Fig2Probe(slot int, ssd int, lba int64, blocks int, reply func(tr Fig2Trace, data []byte, err error)) error {
+	if !d.booted {
+		return ErrNotBooted
+	}
+	if ssd < 0 || ssd >= len(d.Hosts) {
+		return fmt.Errorf("core: no ssd %d", ssd)
+	}
+	t0 := d.Eng.Now()
+	var tr Fig2Trace
+	fail := func(err error) { reply(tr, nil, err) }
+
+	// Stage 1: DEMUX + AXIS arbiter, modeled by an AXIS stream with the
+	// fabric's clock and bus width carrying the frame into the slot.
+	const frameBytes = 256
+	probe := fabric.NewStream(d.Eng, "fig2.probe", d.Cfg.Fabric.ClockHz, 64, 8)
+	probe.Connect(func(it fabric.Item) {
+		t1 := d.Eng.Now()
+		tr.Arbiter = t1.Sub(t0)
+		// Stage 2: accelerator pipeline.
+		serr := d.Fabric.Submit(slot, it.Payload, func(out any) {
+			t2 := d.Eng.Now()
+			tr.Pipeline = t2.Sub(t1)
+			// Stage 3: NVMe host IP core → PCIe bridge → flash.
+			rerr := d.Hosts[ssd].Read(0, lba, blocks, func(data []byte, st uint16) {
+				t3 := d.Eng.Now()
+				tr.Storage = t3.Sub(t2)
+				// Stage 4: response egress serialization on QSFP.
+				respBytes := len(data) + 64
+				egress := sim.Duration(float64(respBytes) / 12.5e9 * float64(sim.Second))
+				d.Eng.After(egress, "fig2.egress", func() {
+					t4 := d.Eng.Now()
+					tr.Egress = t4.Sub(t3)
+					tr.Total = t4.Sub(t0)
+					reply(tr, data, nil)
+				})
+			})
+			if rerr != nil {
+				fail(rerr)
+			}
+		})
+		if serr != nil {
+			fail(serr)
+		}
+	})
+	return probe.Push(fabric.Item{Bytes: frameBytes, Payload: []byte("probe")})
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+
+	"hyperion/internal/fabric"
+)
+
+// The OS-shell is the paper's network control path: it programs the FPGA
+// over QSFP1 through the runtime config engine (standing in for partial
+// dynamic reconfiguration via ICAP), with the authorization check the
+// paper requires for multi-tenant bitstreams.
+
+// Shell method names.
+const (
+	ShellPing   = "osh.ping"
+	ShellStatus = "osh.status"
+	ShellLoad   = "osh.load"
+	ShellUnload = "osh.unload"
+)
+
+// Status is the osh.status response.
+type Status struct {
+	Name     string
+	Slots    []string
+	Free     fabric.Resources
+	Segments int
+	Enum     []string
+}
+
+// LoadArgs asks the config engine to program a slot.
+type LoadArgs struct {
+	Slot      int
+	Bitstream *fabric.Bitstream
+}
+
+func (d *DPU) registerShell() {
+	d.CtrlSrv.Handle(ShellPing, func(arg any, respond func(any, int, error)) {
+		respond("pong:"+d.Cfg.Name, 64, nil)
+	})
+	d.CtrlSrv.Handle(ShellStatus, func(arg any, respond func(any, int, error)) {
+		st := Status{Name: d.Cfg.Name, Free: d.Fabric.FreeResources(), Segments: d.Store.Len(), Enum: d.enumOut}
+		for _, s := range d.Fabric.Slots() {
+			desc := fmt.Sprintf("slot%d:%s", s.Index, s.State)
+			if s.Image != nil {
+				desc += ":" + s.Image.Name
+			}
+			st.Slots = append(st.Slots, desc)
+		}
+		respond(st, 512, nil)
+	})
+	d.CtrlSrv.Handle(ShellLoad, func(arg any, respond func(any, int, error)) {
+		la, ok := arg.(LoadArgs)
+		if !ok {
+			respond(nil, 0, fmt.Errorf("core: bad load args %T", arg))
+			return
+		}
+		// respond fires only after partial reconfiguration completes, so
+		// the caller knows the slot is active.
+		err := d.Fabric.LoadBitstream(la.Slot, la.Bitstream, func() {
+			respond(la.Slot, 64, nil)
+		})
+		if err != nil {
+			respond(nil, 0, err)
+		}
+	})
+	d.CtrlSrv.Handle(ShellUnload, func(arg any, respond func(any, int, error)) {
+		slot, ok := arg.(int)
+		if !ok {
+			respond(nil, 0, fmt.Errorf("core: bad unload args %T", arg))
+			return
+		}
+		respond(true, 64, d.Fabric.Unload(slot))
+	})
+}

@@ -1,0 +1,483 @@
+package ebpf
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble converts assembler text into a program. The syntax follows
+// common eBPF disassembly conventions:
+//
+//	entry:                      ; labels end with ':'
+//	    mov   r1, 42            ; 64-bit ALU, immediate
+//	    add   r1, r2            ; 64-bit ALU, register
+//	    mov32 r3, -1            ; 32-bit ALU
+//	    lddw  r2, 0xdeadbeef00  ; 64-bit immediate (two slots)
+//	    ldxdw r3, [r1+8]        ; r3 = *(u64*)(r1+8)
+//	    stxw  [r10-4], r3       ; *(u32*)(r10-4) = r3
+//	    stdw  [r10-16], 7       ; *(u64*)(r10-16) = 7
+//	    jeq   r3, 0, done       ; conditional jump to label
+//	    call  1                 ; helper call
+//	done:
+//	    exit
+//
+// Comments start with ';' or '//' and run to end of line.
+func Assemble(src string) ([]Instruction, error) {
+	type pending struct {
+		insIndex int
+		label    string
+		line     int
+	}
+	var prog []Instruction
+	labels := make(map[string]int) // label → instruction index
+	var fixups []pending
+
+	lines := strings.Split(src, "\n")
+	for lineNo, raw := range lines {
+		line := raw
+		if i := strings.Index(line, ";"); i >= 0 {
+			line = line[:i]
+		}
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		for strings.Contains(line, ":") {
+			i := strings.Index(line, ":")
+			label := strings.TrimSpace(line[:i])
+			if label == "" || strings.ContainsAny(label, " \t") {
+				return nil, fmt.Errorf("ebpf: line %d: bad label %q", lineNo+1, label)
+			}
+			if _, dup := labels[label]; dup {
+				return nil, fmt.Errorf("ebpf: line %d: duplicate label %q", lineNo+1, label)
+			}
+			labels[label] = len(prog)
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		ins, labelRef, err := parseIns(line)
+		if err != nil {
+			return nil, fmt.Errorf("ebpf: line %d: %w", lineNo+1, err)
+		}
+		if labelRef != "" {
+			fixups = append(fixups, pending{len(prog), labelRef, lineNo + 1})
+		}
+		prog = append(prog, ins)
+	}
+	// Resolve label fixups. Offsets count encoding slots, and LDDW takes
+	// two, so compute slot positions first.
+	slotOf := make([]int, len(prog)+1)
+	for i, ins := range prog {
+		slotOf[i+1] = slotOf[i] + 1
+		if ins.IsLDDW() {
+			slotOf[i+1]++
+		}
+	}
+	for _, fx := range fixups {
+		target, ok := labels[fx.label]
+		if !ok {
+			return nil, fmt.Errorf("ebpf: line %d: undefined label %q", fx.line, fx.label)
+		}
+		off := slotOf[target] - (slotOf[fx.insIndex] + 1)
+		if off < -32768 || off > 32767 {
+			return nil, fmt.Errorf("ebpf: line %d: jump to %q out of range", fx.line, fx.label)
+		}
+		prog[fx.insIndex].Off = int16(off)
+	}
+	return prog, nil
+}
+
+// MustAssemble panics on assembly errors; for tests and fixed programs.
+func MustAssemble(src string) []Instruction {
+	prog, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+var alu64Ops = map[string]uint8{
+	"add": ALUAdd, "sub": ALUSub, "mul": ALUMul, "div": ALUDiv,
+	"or": ALUOr, "and": ALUAnd, "lsh": ALULsh, "rsh": ALURsh,
+	"mod": ALUMod, "xor": ALUXor, "mov": ALUMov, "arsh": ALUArsh,
+}
+
+var jmpOps = map[string]uint8{
+	"ja": JmpA, "jeq": JmpEq, "jgt": JmpGt, "jge": JmpGe, "jset": JmpSet,
+	"jne": JmpNe, "jsgt": JmpSGt, "jsge": JmpSGe, "jlt": JmpLt,
+	"jle": JmpLe, "jslt": JmpSLt, "jsle": JmpSLe,
+}
+
+var sizeSuffix = map[string]uint8{"b": SizeB, "h": SizeH, "w": SizeW, "dw": SizeDW}
+
+func parseIns(line string) (Instruction, string, error) {
+	fields := strings.Fields(line)
+	mnem := strings.ToLower(fields[0])
+	rest := strings.TrimSpace(line[len(fields[0]):])
+	var args []string
+	if rest != "" {
+		for _, a := range strings.Split(rest, ",") {
+			args = append(args, strings.TrimSpace(a))
+		}
+	}
+	argN := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s: want %d operands, got %d", mnem, n, len(args))
+		}
+		return nil
+	}
+
+	switch {
+	case mnem == "exit":
+		return Exit(), "", argN(0)
+	case mnem == "call":
+		if err := argN(1); err != nil {
+			return Instruction{}, "", err
+		}
+		id, err := parseImm(args[0])
+		if err != nil {
+			return Instruction{}, "", err
+		}
+		return Call(int32(id)), "", nil
+	case mnem == "ja":
+		if err := argN(1); err != nil {
+			return Instruction{}, "", err
+		}
+		return Ja(0), args[0], nil
+	case mnem == "neg" || mnem == "neg32":
+		if err := argN(1); err != nil {
+			return Instruction{}, "", err
+		}
+		dst, err := parseReg(args[0])
+		if err != nil {
+			return Instruction{}, "", err
+		}
+		class := ClassALU64
+		if mnem == "neg32" {
+			class = ClassALU
+		}
+		return Instruction{Op: class | ALUNeg, Dst: dst}, "", nil
+	case mnem == "lddw":
+		if err := argN(2); err != nil {
+			return Instruction{}, "", err
+		}
+		dst, err := parseReg(args[0])
+		if err != nil {
+			return Instruction{}, "", err
+		}
+		imm, err := parseImm(args[1])
+		if err != nil {
+			return Instruction{}, "", err
+		}
+		return LoadImm64(dst, imm), "", nil
+	}
+
+	// Endianness: be16/be32/be64 (to big-endian), le16/le32/le64.
+	if len(mnem) >= 4 && (strings.HasPrefix(mnem, "be") || strings.HasPrefix(mnem, "le")) {
+		if w, werr := strconv.Atoi(mnem[2:]); werr == nil && (w == 16 || w == 32 || w == 64) {
+			if err := argN(1); err != nil {
+				return Instruction{}, "", err
+			}
+			dst, err := parseReg(args[0])
+			if err != nil {
+				return Instruction{}, "", err
+			}
+			return Endian(dst, mnem[0] == 'b', int32(w)), "", nil
+		}
+	}
+
+	// Atomics: {xadd,xfadd,aor,aand,axor,xchg,cmpxchg}{w,dw} [dst±off], src
+	if op, size, ok := atomicMnemonic(mnem); ok {
+		if err := argN(2); err != nil {
+			return Instruction{}, "", err
+		}
+		dst, off, err := parseMem(args[0])
+		if err != nil {
+			return Instruction{}, "", err
+		}
+		src, err := parseReg(args[1])
+		if err != nil {
+			return Instruction{}, "", err
+		}
+		return Atomic(size, dst, src, off, op), "", nil
+	}
+
+	// Loads: ldx{b,h,w,dw} dst, [src±off]
+	if strings.HasPrefix(mnem, "ldx") {
+		size, ok := sizeSuffix[mnem[3:]]
+		if !ok {
+			return Instruction{}, "", fmt.Errorf("unknown load %q", mnem)
+		}
+		if err := argN(2); err != nil {
+			return Instruction{}, "", err
+		}
+		dst, err := parseReg(args[0])
+		if err != nil {
+			return Instruction{}, "", err
+		}
+		src, off, err := parseMem(args[1])
+		if err != nil {
+			return Instruction{}, "", err
+		}
+		return LoadMem(size, dst, src, off), "", nil
+	}
+	// Register stores: stx{b,h,w,dw} [dst±off], src
+	if strings.HasPrefix(mnem, "stx") {
+		size, ok := sizeSuffix[mnem[3:]]
+		if !ok {
+			return Instruction{}, "", fmt.Errorf("unknown store %q", mnem)
+		}
+		if err := argN(2); err != nil {
+			return Instruction{}, "", err
+		}
+		dst, off, err := parseMem(args[0])
+		if err != nil {
+			return Instruction{}, "", err
+		}
+		src, err := parseReg(args[1])
+		if err != nil {
+			return Instruction{}, "", err
+		}
+		return StoreMem(size, dst, src, off), "", nil
+	}
+	// Immediate stores: st{b,h,w,dw} [dst±off], imm
+	if strings.HasPrefix(mnem, "st") {
+		size, ok := sizeSuffix[mnem[2:]]
+		if !ok {
+			return Instruction{}, "", fmt.Errorf("unknown store %q", mnem)
+		}
+		if err := argN(2); err != nil {
+			return Instruction{}, "", err
+		}
+		dst, off, err := parseMem(args[0])
+		if err != nil {
+			return Instruction{}, "", err
+		}
+		imm, err := parseImm(args[1])
+		if err != nil {
+			return Instruction{}, "", err
+		}
+		return StoreImm(size, dst, off, int32(imm)), "", nil
+	}
+
+	// Conditional jumps: jxx dst, operand, label
+	base := strings.TrimSuffix(mnem, "32")
+	if op, ok := jmpOps[base]; ok && base != "ja" {
+		if err := argN(3); err != nil {
+			return Instruction{}, "", err
+		}
+		class := ClassJMP
+		if strings.HasSuffix(mnem, "32") {
+			class = ClassJMP32
+		}
+		dst, err := parseReg(args[0])
+		if err != nil {
+			return Instruction{}, "", err
+		}
+		if src, rerr := parseReg(args[1]); rerr == nil {
+			return Instruction{Op: class | op | SrcReg, Dst: dst, Src: src}, args[2], nil
+		}
+		imm, err := parseImm(args[1])
+		if err != nil {
+			return Instruction{}, "", err
+		}
+		return Instruction{Op: class | op, Dst: dst, Imm: int32(imm)}, args[2], nil
+	}
+
+	// ALU: op dst, operand (64-bit) or op32 (32-bit)
+	if op, ok := alu64Ops[base]; ok {
+		if err := argN(2); err != nil {
+			return Instruction{}, "", err
+		}
+		class := ClassALU64
+		if strings.HasSuffix(mnem, "32") {
+			class = ClassALU
+		}
+		dst, err := parseReg(args[0])
+		if err != nil {
+			return Instruction{}, "", err
+		}
+		if src, rerr := parseReg(args[1]); rerr == nil {
+			return Instruction{Op: class | op | SrcReg, Dst: dst, Src: src}, "", nil
+		}
+		imm, err := parseImm(args[1])
+		if err != nil {
+			return Instruction{}, "", err
+		}
+		return Instruction{Op: class | op, Dst: dst, Imm: int32(imm)}, "", nil
+	}
+
+	return Instruction{}, "", fmt.Errorf("unknown mnemonic %q", mnem)
+}
+
+var atomicOps = map[string]int32{
+	"xadd": AtomicAdd, "xfadd": AtomicAdd | AtomicFetch,
+	"aor": AtomicOr, "aand": AtomicAnd, "axor": AtomicXor,
+	"xchg": AtomicXchg, "cmpxchg": AtomicCmpXchg,
+}
+
+// atomicMnemonic parses an atomic mnemonic with its w/dw size suffix.
+// Bases ending in 'd' make the suffixes ambiguous (xadd+w vs xad+dw),
+// so both readings are tried.
+func atomicMnemonic(m string) (op int32, size uint8, ok bool) {
+	if strings.HasSuffix(m, "dw") {
+		if o, found := atomicOps[m[:len(m)-2]]; found {
+			return o, SizeDW, true
+		}
+	}
+	if strings.HasSuffix(m, "w") {
+		if o, found := atomicOps[m[:len(m)-1]]; found {
+			return o, SizeW, true
+		}
+	}
+	return 0, 0, false
+}
+
+func parseReg(s string) (uint8, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if !strings.HasPrefix(s, "r") {
+		return 0, fmt.Errorf("not a register: %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= int(NumRegs) {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+func parseImm(s string) (int64, error) {
+	v, err := strconv.ParseInt(strings.TrimSpace(s), 0, 64)
+	if err != nil {
+		// Allow full-range unsigned hex like 0xffffffffffffffff.
+		u, uerr := strconv.ParseUint(strings.TrimSpace(s), 0, 64)
+		if uerr != nil {
+			return 0, fmt.Errorf("bad immediate %q", s)
+		}
+		return int64(u), nil
+	}
+	return v, nil
+}
+
+// parseMem parses "[rN+off]" / "[rN-off]" / "[rN]".
+func parseMem(s string) (uint8, int16, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	inner := s[1 : len(s)-1]
+	sep := strings.IndexAny(inner, "+-")
+	if sep < 0 {
+		r, err := parseReg(inner)
+		return r, 0, err
+	}
+	r, err := parseReg(inner[:sep])
+	if err != nil {
+		return 0, 0, err
+	}
+	off, err := strconv.ParseInt(strings.TrimSpace(inner[sep:]), 0, 16)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad offset in %q", s)
+	}
+	return r, int16(off), nil
+}
+
+// Disassemble renders a program back to assembler text, one instruction
+// per line.
+func Disassemble(prog []Instruction) string {
+	var b strings.Builder
+	for i, ins := range prog {
+		s, err := disasmOne(ins)
+		if err != nil {
+			s = fmt.Sprintf("raw %#02x", ins.Op)
+		}
+		fmt.Fprintf(&b, "%4d: %s\n", i, s)
+	}
+	return b.String()
+}
+
+func disasmOne(ins Instruction) (string, error) {
+	revALU := map[uint8]string{}
+	for k, v := range alu64Ops {
+		revALU[v] = k
+	}
+	revJmp := map[uint8]string{}
+	for k, v := range jmpOps {
+		revJmp[v] = k
+	}
+	revSize := map[uint8]string{SizeB: "b", SizeH: "h", SizeW: "w", SizeDW: "dw"}
+
+	switch ins.Class() {
+	case ClassALU64, ClassALU:
+		if ins.IsEndian() {
+			dir := "le"
+			if ins.Op&SrcReg != 0 {
+				dir = "be"
+			}
+			return fmt.Sprintf("%s%d r%d", dir, ins.Imm, ins.Dst), nil
+		}
+		suffix := ""
+		if ins.Class() == ClassALU {
+			suffix = "32"
+		}
+		op := ins.Op & 0xf0
+		if op == ALUNeg {
+			return fmt.Sprintf("neg%s r%d", suffix, ins.Dst), nil
+		}
+		name, ok := revALU[op]
+		if !ok {
+			return "", fmt.Errorf("bad alu op")
+		}
+		if ins.Op&SrcReg != 0 {
+			return fmt.Sprintf("%s%s r%d, r%d", name, suffix, ins.Dst, ins.Src), nil
+		}
+		return fmt.Sprintf("%s%s r%d, %d", name, suffix, ins.Dst, ins.Imm), nil
+	case ClassJMP, ClassJMP32:
+		op := ins.Op & 0xf0
+		switch op {
+		case JmpExit:
+			return "exit", nil
+		case JmpCall:
+			return fmt.Sprintf("call %d", ins.Imm), nil
+		case JmpA:
+			return fmt.Sprintf("ja %+d", ins.Off), nil
+		}
+		name, ok := revJmp[op]
+		if !ok {
+			return "", fmt.Errorf("bad jmp op")
+		}
+		suffix := ""
+		if ins.Class() == ClassJMP32 {
+			suffix = "32"
+		}
+		if ins.Op&SrcReg != 0 {
+			return fmt.Sprintf("%s%s r%d, r%d, %+d", name, suffix, ins.Dst, ins.Src, ins.Off), nil
+		}
+		return fmt.Sprintf("%s%s r%d, %d, %+d", name, suffix, ins.Dst, ins.Imm, ins.Off), nil
+	case ClassLD:
+		if ins.IsLDDW() {
+			return fmt.Sprintf("lddw r%d, %#x", ins.Dst, uint64(ins.Imm64)), nil
+		}
+		return "", fmt.Errorf("bad ld")
+	case ClassLDX:
+		return fmt.Sprintf("ldx%s r%d, [r%d%+d]", revSize[ins.Op&0x18], ins.Dst, ins.Src, ins.Off), nil
+	case ClassSTX:
+		if ins.IsAtomic() {
+			for name, op := range atomicOps {
+				if op == ins.Imm {
+					return fmt.Sprintf("%s%s [r%d%+d], r%d", name, revSize[ins.Op&0x18], ins.Dst, ins.Off, ins.Src), nil
+				}
+			}
+			return "", fmt.Errorf("bad atomic op")
+		}
+		return fmt.Sprintf("stx%s [r%d%+d], r%d", revSize[ins.Op&0x18], ins.Dst, ins.Off, ins.Src), nil
+	case ClassST:
+		return fmt.Sprintf("st%s [r%d%+d], %d", revSize[ins.Op&0x18], ins.Dst, ins.Off, ins.Imm), nil
+	}
+	return "", fmt.Errorf("unknown class")
+}

@@ -1,0 +1,249 @@
+package ebpf
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	prog := []Instruction{
+		Mov64Imm(R0, 7),
+		Mov64Reg(R1, R0),
+		ALU64Imm(ALUAdd, R0, -3),
+		ALU64Reg(ALUMul, R0, R1),
+		LoadImm64(R2, 0x1122334455667788),
+		LoadMem(SizeDW, R3, R2, 16),
+		StoreMem(SizeW, R10, R3, -8),
+		StoreImm(SizeB, R10, -1, 0x7f),
+		JumpImm(JmpEq, R0, 0, 2),
+		JumpReg(JmpGt, R0, R1, 1),
+		Ja(-3),
+		Call(1),
+		Exit(),
+	}
+	raw := Encode(prog)
+	// LDDW takes two slots.
+	if len(raw) != (len(prog)+1)*8 {
+		t.Fatalf("encoded %d bytes, want %d", len(raw), (len(prog)+1)*8)
+	}
+	back, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(prog) {
+		t.Fatalf("decoded %d insns, want %d", len(back), len(prog))
+	}
+	for i := range prog {
+		if prog[i] != back[i] {
+			t.Errorf("insn %d: %+v != %+v", i, prog[i], back[i])
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(make([]byte, 7)); err != ErrTruncated {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+	// A lone LDDW first slot with no second slot.
+	raw := Encode([]Instruction{LoadImm64(R1, 1)})[:8]
+	if _, err := Decode(raw); err != ErrBadLDDW {
+		t.Fatalf("err = %v, want ErrBadLDDW", err)
+	}
+}
+
+func TestLDDWEncodesNegativeAndLarge(t *testing.T) {
+	f := func(v int64) bool {
+		raw := Encode([]Instruction{LoadImm64(R1, v)})
+		back, err := Decode(raw)
+		if err != nil || len(back) != 1 {
+			return false
+		}
+		return back[0].Imm64 == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	prog := []Instruction{Mov64Imm(R0, 1), Exit()}
+	if !bytes.Equal(Encode(prog), Encode(prog)) {
+		t.Fatal("encode not deterministic")
+	}
+}
+
+func TestAssembleBasicProgram(t *testing.T) {
+	prog, err := Assemble(`
+		; compute (5+3)*2
+		mov r0, 5
+		add r0, 3
+		mul r0, 2
+		exit
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog) != 4 {
+		t.Fatalf("got %d insns", len(prog))
+	}
+	vm := NewVM(nil)
+	if err := vm.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	got, err := vm.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 16 {
+		t.Fatalf("result = %d, want 16", got)
+	}
+}
+
+func TestAssembleLabelsAndJumps(t *testing.T) {
+	prog, err := Assemble(`
+		mov r1, 10
+		mov r0, 0
+		jeq r1, 10, yes
+		mov r0, 111
+		ja done
+	yes:
+		mov r0, 222
+	done:
+		exit
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := NewVM(nil)
+	_ = vm.Load(prog)
+	got, err := vm.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 222 {
+		t.Fatalf("result = %d, want 222", got)
+	}
+}
+
+func TestAssembleLabelAcrossLDDW(t *testing.T) {
+	// Jump offsets are in slots; an LDDW between jump and target must be
+	// counted twice.
+	prog, err := Assemble(`
+		mov r0, 0
+		jeq r0, 0, target
+		lddw r2, 0x100000000
+		mov r0, 1
+	target:
+		exit
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog[1].Off != 3 { // lddw counts as 2 slots + mov as 1
+		t.Fatalf("jump offset = %d, want 3", prog[1].Off)
+	}
+	vm := NewVM(nil)
+	_ = vm.Load(prog)
+	got, err := vm.Run(nil)
+	if err != nil || got != 0 {
+		t.Fatalf("run = %d,%v", got, err)
+	}
+}
+
+func TestAssembleMemoryOps(t *testing.T) {
+	prog, err := Assemble(`
+		stdw [r10-8], 99
+		ldxdw r0, [r10-8]
+		exit
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := NewVM(nil)
+	_ = vm.Load(prog)
+	got, err := vm.Run(nil)
+	if err != nil || got != 99 {
+		t.Fatalf("run = %d,%v", got, err)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"bogus r0, 1",
+		"mov r11, 1",
+		"mov r0",
+		"jeq r0, 1, missing_label",
+		"ldxq r0, [r1+0]",
+		"mov r0, zz",
+		"ldxw r0, r1",
+		"dup: mov r0, 0\ndup: exit",
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("Assemble(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestDisassembleRoundTripStraightLine(t *testing.T) {
+	// Jump-free programs must reassemble from their own disassembly.
+	src := `
+		mov r0, 0
+		mov32 r1, 7
+		add r0, r1
+		lddw r2, 0xdeadbeef
+		ldxw r3, [r2+4]
+		stxdw [r10-16], r3
+		stb [r10-1], 255
+		neg r0
+		exit
+	`
+	prog := MustAssemble(src)
+	text := Disassemble(prog)
+	var clean []byte
+	for _, line := range bytes.Split([]byte(text), []byte("\n")) {
+		if i := bytes.IndexByte(line, ':'); i >= 0 {
+			line = line[i+1:]
+		}
+		clean = append(clean, line...)
+		clean = append(clean, '\n')
+	}
+	prog2, err := Assemble(string(clean))
+	if err != nil {
+		t.Fatalf("reassemble: %v\n%s", err, text)
+	}
+	if len(prog) != len(prog2) {
+		t.Fatalf("lengths differ: %d vs %d", len(prog), len(prog2))
+	}
+	for i := range prog {
+		if prog[i] != prog2[i] {
+			t.Errorf("insn %d: %+v vs %+v", i, prog[i], prog2[i])
+		}
+	}
+}
+
+func TestDisassembleJumps(t *testing.T) {
+	text := Disassemble([]Instruction{JumpImm(JmpEq, R1, 4, 2), Ja(1), JumpReg(JmpLt, R2, R3, -2), Exit()})
+	for _, want := range []string{"jeq r1, 4, +2", "ja +1", "jlt r2, r3, -2", "exit"} {
+		if !bytes.Contains([]byte(text), []byte(want)) {
+			t.Errorf("disassembly missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestInstructionString(t *testing.T) {
+	cases := map[string]Instruction{
+		"mov r0, 5":        Mov64Imm(R0, 5),
+		"add r1, r2":       ALU64Reg(ALUAdd, R1, R2),
+		"exit":             Exit(),
+		"call 7":           Call(7),
+		"ldxdw r3, [r1+8]": LoadMem(SizeDW, R3, R1, 8),
+		"stxw [r10-4], r2": StoreMem(SizeW, R10, R2, -4),
+	}
+	for want, ins := range cases {
+		if got := ins.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package ebpf
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Map is the eBPF map interface: fixed-size keys and values, byte-slice
+// semantics like the kernel's.
+type Map interface {
+	KeySize() int
+	ValueSize() int
+	Lookup(key []byte) ([]byte, bool)
+	Update(key, value []byte) error
+	Delete(key []byte) bool
+	Len() int
+}
+
+// Map errors.
+var (
+	ErrKeySize   = errors.New("ebpf: wrong key size")
+	ErrValueSize = errors.New("ebpf: wrong value size")
+	ErrMapFull   = errors.New("ebpf: map full")
+	ErrBadIndex  = errors.New("ebpf: array index out of range")
+)
+
+// HashMap is a bounded hash map.
+type HashMap struct {
+	keySize, valueSize, maxEntries int
+	m                              map[string][]byte
+}
+
+// NewHashMap creates a hash map.
+func NewHashMap(keySize, valueSize, maxEntries int) *HashMap {
+	if keySize <= 0 || valueSize <= 0 || maxEntries <= 0 {
+		panic("ebpf: invalid hash map geometry")
+	}
+	return &HashMap{keySize: keySize, valueSize: valueSize, maxEntries: maxEntries, m: make(map[string][]byte)}
+}
+
+// KeySize returns the key size in bytes.
+func (h *HashMap) KeySize() int { return h.keySize }
+
+// ValueSize returns the value size in bytes.
+func (h *HashMap) ValueSize() int { return h.valueSize }
+
+// Len returns the number of entries.
+func (h *HashMap) Len() int { return len(h.m) }
+
+// Lookup returns a copy-free reference to the stored value.
+func (h *HashMap) Lookup(key []byte) ([]byte, bool) {
+	if len(key) != h.keySize {
+		return nil, false
+	}
+	v, ok := h.m[string(key)]
+	return v, ok
+}
+
+// Update inserts or replaces an entry.
+func (h *HashMap) Update(key, value []byte) error {
+	if len(key) != h.keySize {
+		return ErrKeySize
+	}
+	if len(value) != h.valueSize {
+		return ErrValueSize
+	}
+	k := string(key)
+	if _, exists := h.m[k]; !exists && len(h.m) >= h.maxEntries {
+		return ErrMapFull
+	}
+	h.m[k] = append([]byte(nil), value...)
+	return nil
+}
+
+// Delete removes an entry, reporting whether it existed.
+func (h *HashMap) Delete(key []byte) bool {
+	if len(key) != h.keySize {
+		return false
+	}
+	k := string(key)
+	_, ok := h.m[k]
+	delete(h.m, k)
+	return ok
+}
+
+// Iterate visits all entries (order unspecified). Used by control-plane
+// code, not by programs.
+func (h *HashMap) Iterate(fn func(key, value []byte) bool) {
+	for k, v := range h.m {
+		if !fn([]byte(k), v) {
+			return
+		}
+	}
+}
+
+// ArrayMap is a fixed-size array of values with uint32 keys.
+type ArrayMap struct {
+	valueSize int
+	vals      [][]byte
+}
+
+// NewArrayMap creates an array map with n slots, all zero-initialized.
+func NewArrayMap(valueSize, n int) *ArrayMap {
+	if valueSize <= 0 || n <= 0 {
+		panic("ebpf: invalid array map geometry")
+	}
+	a := &ArrayMap{valueSize: valueSize, vals: make([][]byte, n)}
+	for i := range a.vals {
+		a.vals[i] = make([]byte, valueSize)
+	}
+	return a
+}
+
+// KeySize is always 4 (uint32 index).
+func (a *ArrayMap) KeySize() int { return 4 }
+
+// ValueSize returns the value size in bytes.
+func (a *ArrayMap) ValueSize() int { return a.valueSize }
+
+// Len returns the number of slots.
+func (a *ArrayMap) Len() int { return len(a.vals) }
+
+func (a *ArrayMap) index(key []byte) (int, bool) {
+	if len(key) != 4 {
+		return 0, false
+	}
+	i := int(binary.LittleEndian.Uint32(key))
+	return i, i >= 0 && i < len(a.vals)
+}
+
+// Lookup returns the slot contents.
+func (a *ArrayMap) Lookup(key []byte) ([]byte, bool) {
+	i, ok := a.index(key)
+	if !ok {
+		return nil, false
+	}
+	return a.vals[i], true
+}
+
+// Update overwrites a slot.
+func (a *ArrayMap) Update(key, value []byte) error {
+	if len(value) != a.valueSize {
+		return ErrValueSize
+	}
+	i, ok := a.index(key)
+	if !ok {
+		return ErrBadIndex
+	}
+	copy(a.vals[i], value)
+	return nil
+}
+
+// Delete zeroes a slot (array maps cannot remove entries).
+func (a *ArrayMap) Delete(key []byte) bool {
+	i, ok := a.index(key)
+	if !ok {
+		return false
+	}
+	for j := range a.vals[i] {
+		a.vals[i][j] = 0
+	}
+	return true
+}
+
+// MapSet names the maps available to a program; map file descriptors in
+// real eBPF become small integer ids here, referenced by LoadImm64 of the
+// id into a register before a helper call.
+type MapSet struct {
+	maps []Map
+}
+
+// Add registers a map and returns its id.
+func (s *MapSet) Add(m Map) int {
+	s.maps = append(s.maps, m)
+	return len(s.maps) - 1
+}
+
+// Get returns the map with id i.
+func (s *MapSet) Get(i int) (Map, error) {
+	if i < 0 || i >= len(s.maps) {
+		return nil, fmt.Errorf("ebpf: no map with id %d", i)
+	}
+	return s.maps[i], nil
+}
+
+// Len returns the number of registered maps.
+func (s *MapSet) Len() int { return len(s.maps) }

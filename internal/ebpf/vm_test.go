@@ -1,0 +1,406 @@
+package ebpf
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+func run(t *testing.T, src string, ctx []byte) uint64 {
+	t.Helper()
+	vm := NewVM(nil)
+	if err := vm.Load(MustAssemble(src)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := vm.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestALUSemantics(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want uint64
+	}{
+		{"add", "mov r0, 2\nadd r0, 3\nexit", 5},
+		{"sub_negative", "mov r0, 2\nsub r0, 5\nexit", ^uint64(2)}, // -3
+		{"mul", "mov r0, 7\nmul r0, 6\nexit", 42},
+		{"div", "mov r0, 42\nmov r1, 5\ndiv r0, r1\nexit", 8},
+		{"div_by_zero_yields_zero", "mov r0, 42\nmov r1, 0\ndiv r0, r1\nexit", 0},
+		{"mod", "mov r0, 42\nmod r0, 5\nexit", 2},
+		{"mod_by_zero_keeps_dst", "mov r0, 42\nmov r1, 0\nmod r0, r1\nexit", 42},
+		{"and", "mov r0, 0xff\nand r0, 0x0f\nexit", 0x0f},
+		{"or", "mov r0, 0xf0\nor r0, 0x0f\nexit", 0xff},
+		{"xor_self", "mov r0, 123\nxor r0, r0\nexit", 0},
+		{"lsh", "mov r0, 1\nlsh r0, 40\nexit", 1 << 40},
+		{"lsh_masked", "mov r0, 1\nlsh r0, 64\nexit", 1}, // shift & 63
+		{"rsh", "mov r0, 256\nrsh r0, 4\nexit", 16},
+		{"arsh_sign", "mov r0, -8\narsh r0, 1\nexit", ^uint64(3)}, // -4
+		{"neg", "mov r0, 5\nneg r0\nexit", ^uint64(4)},            // -5
+		{"mov32_truncates", "lddw r1, 0x1ffffffff\nmov32 r0, r1\nexit", 0xffffffff},
+		{"add32_wraps", "mov32 r0, -1\nadd32 r0, 1\nexit", 0},
+		{"arsh32", "mov32 r0, -16\narsh32 r0, 2\nexit", 0xfffffffc},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := run(t, c.src, nil); got != c.want {
+				t.Fatalf("got %#x, want %#x", got, c.want)
+			}
+		})
+	}
+}
+
+func TestJumpSemantics(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want uint64
+	}{
+		{"jsgt_signed", "mov r1, -1\nmov r0, 0\njsgt r1, 0, bad\nmov r0, 1\nja out\nbad: mov r0, 2\nout: exit", 1},
+		{"jgt_unsigned", "mov r1, -1\nmov r0, 0\njgt r1, 0, big\nja out\nbig: mov r0, 1\nout: exit", 1},
+		{"jset", "mov r1, 0b1010\nmov r0, 0\njset r1, 0b0010, hit\nja out\nhit: mov r0, 1\nout: exit", 1},
+		{"jeq32_ignores_high_bits", "lddw r1, 0x100000005\nmov r0, 0\njeq32 r1, 5, hit\nja out\nhit: mov r0, 1\nout: exit", 1},
+		{"jle_chain", "mov r1, 3\nmov r0, 0\njle r1, 3, a\nja out\na: jge r1, 3, b\nja out\nb: mov r0, 9\nout: exit", 9},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := run(t, c.src, nil); got != c.want {
+				t.Fatalf("got %d, want %d", got, c.want)
+			}
+		})
+	}
+}
+
+func TestMemoryAndContext(t *testing.T) {
+	ctx := make([]byte, 16)
+	binary.LittleEndian.PutUint32(ctx[4:], 0xcafebabe)
+	got := run(t, `
+		ldxw r0, [r1+4]
+		exit
+	`, ctx)
+	if got != 0xcafebabe {
+		t.Fatalf("ctx read = %#x", got)
+	}
+	// Context writes are visible to the embedder (packet rewriting).
+	vm := NewVM(nil)
+	_ = vm.Load(MustAssemble(`
+		stw [r1+0], 7
+		mov r0, 0
+		exit
+	`))
+	buf := make([]byte, 8)
+	if _, err := vm.Run(buf); err != nil {
+		t.Fatal(err)
+	}
+	if binary.LittleEndian.Uint32(buf) != 7 {
+		t.Fatalf("ctx write not visible: %v", buf)
+	}
+}
+
+func TestStackByteSizes(t *testing.T) {
+	got := run(t, `
+		stdw [r10-8], 0x1122334455667788
+		ldxb r0, [r10-8]
+		ldxh r1, [r10-8]
+		ldxw r2, [r10-8]
+		add r0, r1
+		add r0, r2
+		exit
+	`, nil)
+	want := uint64(0x88) + 0x7788 + 0x55667788
+	if got != want {
+		t.Fatalf("got %#x, want %#x", got, want)
+	}
+}
+
+func TestOutOfBoundsAccessFails(t *testing.T) {
+	vm := NewVM(nil)
+	_ = vm.Load(MustAssemble("ldxdw r0, [r10+0]\nexit")) // above stack top
+	if _, err := vm.Run(nil); !errors.Is(err, ErrBadMemAccess) {
+		t.Fatalf("err = %v, want ErrBadMemAccess", err)
+	}
+	_ = vm.Load(MustAssemble("mov r2, 0\nldxdw r0, [r2+0]\nexit"))
+	if _, err := vm.Run(nil); !errors.Is(err, ErrBadMemAccess) {
+		t.Fatalf("null deref err = %v, want ErrBadMemAccess", err)
+	}
+}
+
+func TestRunWithoutLoad(t *testing.T) {
+	vm := NewVM(nil)
+	if _, err := vm.Run(nil); !errors.Is(err, ErrNoProgram) {
+		t.Fatalf("err = %v, want ErrNoProgram", err)
+	}
+}
+
+func TestUnknownHelper(t *testing.T) {
+	vm := NewVM(nil)
+	_ = vm.Load(MustAssemble("call 999\nexit"))
+	if _, err := vm.Run(nil); !errors.Is(err, ErrUnknownHelper) {
+		t.Fatalf("err = %v, want ErrUnknownHelper", err)
+	}
+}
+
+func TestCallClobbersR1toR5(t *testing.T) {
+	vm := NewVM(nil)
+	_ = vm.Load(MustAssemble(`
+		mov r6, 11
+		call 5
+		mov r0, r6
+		exit
+	`))
+	got, err := vm.Run(nil)
+	if err != nil || got != 11 {
+		t.Fatalf("callee-saved r6 = %d,%v", got, err)
+	}
+}
+
+func TestHashMapHelpers(t *testing.T) {
+	maps := &MapSet{}
+	id := maps.Add(NewHashMap(4, 8, 16))
+	vm := NewVM(maps)
+	// Insert key=5 value=77 via helpers, then look it up and load it.
+	src := `
+		stw  [r10-4], 5        ; key
+		stdw [r10-16], 77      ; value
+		mov r1, MAPID
+		mov r2, r10
+		sub r2, 4
+		mov r3, r10
+		sub r3, 16
+		call 2                 ; update
+		jeq r0, 0, ok
+		mov r0, 100
+		exit
+	ok:
+		mov r1, MAPID
+		mov r2, r10
+		sub r2, 4
+		call 1                 ; lookup
+		jeq r0, 0, miss
+		ldxdw r0, [r0+0]
+		exit
+	miss:
+		mov r0, 200
+		exit
+	`
+	src = replaceAll(src, "MAPID", itoa(id))
+	_ = vm.Load(MustAssemble(src))
+	got, err := vm.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 77 {
+		t.Fatalf("lookup = %d, want 77", got)
+	}
+
+	// Delete and re-lookup: should miss.
+	src2 := `
+		stw [r10-4], 5
+		mov r1, MAPID
+		mov r2, r10
+		sub r2, 4
+		call 3                 ; delete
+		mov r1, MAPID
+		mov r2, r10
+		sub r2, 4
+		call 1
+		jeq r0, 0, miss
+		mov r0, 1
+		exit
+	miss:
+		mov r0, 0
+		exit
+	`
+	src2 = replaceAll(src2, "MAPID", itoa(id))
+	_ = vm.Load(MustAssemble(src2))
+	got, err = vm.Run(nil)
+	if err != nil || got != 0 {
+		t.Fatalf("after delete lookup = %d,%v want miss", got, err)
+	}
+}
+
+func TestMapValueWriteThrough(t *testing.T) {
+	// Writes through a looked-up map value pointer must persist in the
+	// map (kernel semantics).
+	maps := &MapSet{}
+	m := NewHashMap(4, 8, 4)
+	_ = m.Update([]byte{1, 0, 0, 0}, make([]byte, 8))
+	id := maps.Add(m)
+	vm := NewVM(maps)
+	src := replaceAll(`
+		stw [r10-4], 1
+		mov r1, MAPID
+		mov r2, r10
+		sub r2, 4
+		call 1
+		jeq r0, 0, miss
+		stdw [r0+0], 424242
+		mov r0, 0
+		exit
+	miss:
+		mov r0, 1
+		exit
+	`, "MAPID", itoa(id))
+	_ = vm.Load(MustAssemble(src))
+	got, err := vm.Run(nil)
+	if err != nil || got != 0 {
+		t.Fatalf("run = %d,%v", got, err)
+	}
+	v, ok := m.Lookup([]byte{1, 0, 0, 0})
+	if !ok || binary.LittleEndian.Uint64(v) != 424242 {
+		t.Fatalf("map not updated through pointer: %v", v)
+	}
+}
+
+func TestKtimeHelperUsesClock(t *testing.T) {
+	vm := NewVM(nil)
+	vm.Now = func() uint64 { return 12345 }
+	_ = vm.Load(MustAssemble("call 5\nexit"))
+	got, err := vm.Run(nil)
+	if err != nil || got != 12345 {
+		t.Fatalf("ktime = %d,%v", got, err)
+	}
+}
+
+func TestTraceHelper(t *testing.T) {
+	vm := NewVM(nil)
+	var traced []uint64
+	vm.Trace = func(v uint64) { traced = append(traced, v) }
+	_ = vm.Load(MustAssemble("mov r1, 7\ncall 6\nmov r0, 0\nexit"))
+	if _, err := vm.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(traced) != 1 || traced[0] != 7 {
+		t.Fatalf("traced = %v", traced)
+	}
+}
+
+func TestCustomHelperAndWindows(t *testing.T) {
+	vm := NewVM(nil)
+	data := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	vm.RegisterHelper(HelperUserBase, Helper{Name: "get_block", Fn: func(vm *VM, a [5]uint64) (uint64, error) {
+		return vm.AddWindow(data, false), nil
+	}})
+	_ = vm.Load(MustAssemble("call 64\nldxdw r0, [r0+0]\nexit"))
+	got, err := vm.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != binary.LittleEndian.Uint64(data) {
+		t.Fatalf("window read = %#x", got)
+	}
+	// Writing to a read-only window must fail.
+	_ = vm.Load(MustAssemble("call 64\nstdw [r0+0], 1\nmov r0, 0\nexit"))
+	vm.ResetWindows()
+	if _, err := vm.Run(nil); !errors.Is(err, ErrBadMemAccess) {
+		t.Fatalf("read-only write err = %v", err)
+	}
+}
+
+func TestStepCounting(t *testing.T) {
+	vm := NewVM(nil)
+	_ = vm.Load(MustAssemble("mov r0, 1\nadd r0, 1\nexit"))
+	if _, err := vm.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	if vm.Steps != 3 {
+		t.Fatalf("Steps = %d, want 3", vm.Steps)
+	}
+}
+
+func TestStackIsolationBetweenRuns(t *testing.T) {
+	vm := NewVM(nil)
+	_ = vm.Load(MustAssemble("stdw [r10-8], 55\nmov r0, 0\nexit"))
+	if _, err := vm.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	_ = vm.Load(MustAssemble("ldxdw r0, [r10-8]\nexit"))
+	got, err := vm.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("stack leaked between runs: %d", got)
+	}
+}
+
+func replaceAll(s, old, new string) string {
+	out := ""
+	for {
+		i := indexOf(s, old)
+		if i < 0 {
+			return out + s
+		}
+		out += s[:i] + new
+		s = s[i+len(old):]
+	}
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+func BenchmarkVMArithmetic(b *testing.B) {
+	vm := NewVM(nil)
+	_ = vm.Load(MustAssemble(`
+		mov r0, 0
+		mov r1, 1
+		add r0, r1
+		mul r0, 3
+		rsh r0, 1
+		xor r0, 0x55
+		exit
+	`))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := vm.Run(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVMMapLookup(b *testing.B) {
+	maps := &MapSet{}
+	m := NewHashMap(4, 8, 1024)
+	_ = m.Update([]byte{9, 0, 0, 0}, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	id := maps.Add(m)
+	vm := NewVM(maps)
+	_ = vm.Load(MustAssemble(replaceAll(`
+		stw [r10-4], 9
+		mov r1, MAPID
+		mov r2, r10
+		sub r2, 4
+		call 1
+		mov r0, 0
+		exit
+	`, "MAPID", itoa(id))))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vm.ResetWindows()
+		if _, err := vm.Run(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,529 @@
+package ehdl
+
+import (
+	"errors"
+	"fmt"
+
+	"hyperion/internal/ebpf"
+)
+
+// Optimize performs the "program warping" passes: in-block constant
+// propagation, constant branch folding, dead-code elimination, and
+// relayout. Fewer instructions mean shallower pipelines and smaller
+// bitstreams, which is exactly where the hardware wins come from.
+func Optimize(prog []ebpf.Instruction) ([]ebpf.Instruction, error) {
+	g, err := buildGraph(prog)
+	if err != nil {
+		return nil, err
+	}
+	changed := true
+	for iter := 0; changed && iter < 8; iter++ {
+		changed = false
+		if constProp(g) {
+			changed = true
+		}
+		if foldBranches(g) {
+			changed = true
+		}
+		if deadCode(g) {
+			changed = true
+		}
+	}
+	return g.emit()
+}
+
+// graph is a jump-resolved program: each node knows its explicit target
+// index instead of a slot-relative offset.
+type graph struct {
+	ins     []ebpf.Instruction
+	target  []int // resolved jump target (instruction index), -1 if n/a
+	removed []bool
+}
+
+func buildGraph(prog []ebpf.Instruction) (*graph, error) {
+	g := &graph{
+		ins:     append([]ebpf.Instruction(nil), prog...),
+		target:  make([]int, len(prog)),
+		removed: make([]bool, len(prog)),
+	}
+	for i, ins := range prog {
+		g.target[i] = -1
+		if isJump(ins) {
+			t := targetOf(prog, i)
+			if t < 0 {
+				return nil, fmt.Errorf("ehdl: unresolvable jump at %d", i)
+			}
+			g.target[i] = t
+		}
+	}
+	return g, nil
+}
+
+func isJump(ins ebpf.Instruction) bool {
+	cls := ins.Class()
+	if cls != ebpf.ClassJMP && cls != ebpf.ClassJMP32 {
+		return false
+	}
+	op := ins.Op & 0xf0
+	return op != ebpf.JmpExit && op != ebpf.JmpCall
+}
+
+func isCall(ins ebpf.Instruction) bool {
+	cls := ins.Class()
+	return (cls == ebpf.ClassJMP || cls == ebpf.ClassJMP32) && ins.Op&0xf0 == ebpf.JmpCall
+}
+
+func isExit(ins ebpf.Instruction) bool {
+	cls := ins.Class()
+	return (cls == ebpf.ClassJMP || cls == ebpf.ClassJMP32) && ins.Op&0xf0 == ebpf.JmpExit
+}
+
+// leaders marks basic-block entry points among live instructions.
+func (g *graph) leaders() []bool {
+	lead := make([]bool, len(g.ins))
+	mark := func(i int) {
+		if i >= 0 && i < len(lead) {
+			lead[i] = true
+		}
+	}
+	mark(g.next(0))
+	for i, ins := range g.ins {
+		if g.removed[i] {
+			continue
+		}
+		if isJump(ins) {
+			mark(g.target[i])
+			mark(g.next(i + 1))
+		}
+	}
+	return lead
+}
+
+// next returns the first live instruction at or after i.
+func (g *graph) next(i int) int {
+	for ; i < len(g.ins); i++ {
+		if !g.removed[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// constProp propagates known register constants within basic blocks,
+// rewriting register operands to immediates and folding ALU results.
+func constProp(g *graph) bool {
+	lead := g.leaders()
+	changed := false
+	var known [ebpf.NumRegs]bool
+	var val [ebpf.NumRegs]int64
+	reset := func() {
+		for r := range known {
+			known[r] = false
+		}
+	}
+	reset()
+	for i := 0; i < len(g.ins); i++ {
+		if g.removed[i] {
+			continue
+		}
+		if lead[i] {
+			reset()
+		}
+		ins := &g.ins[i]
+		cls := ins.Class()
+		switch {
+		case ins.IsLDDW():
+			known[ins.Dst], val[ins.Dst] = true, ins.Imm64
+		case cls == ebpf.ClassALU64 || cls == ebpf.ClassALU:
+			if ins.IsEndian() {
+				// The source bit selects byte order here, not an operand.
+				known[ins.Dst] = false
+				break
+			}
+			op := ins.Op & 0xf0
+			// Rewrite register source to immediate when known & fits.
+			if ins.Op&ebpf.SrcReg != 0 && known[ins.Src] && fitsImm32(val[ins.Src]) {
+				ins.Op &^= ebpf.SrcReg
+				ins.Imm = int32(val[ins.Src])
+				ins.Src = 0
+				changed = true
+			}
+			// Track the result.
+			if ins.Op&ebpf.SrcReg != 0 {
+				// Unknown source: result unknown.
+				known[ins.Dst] = false
+				break
+			}
+			src := int64(ins.Imm)
+			if op == ebpf.ALUMov {
+				known[ins.Dst], val[ins.Dst] = true, src
+				if cls == ebpf.ClassALU {
+					val[ins.Dst] = int64(uint32(src))
+				}
+				break
+			}
+			if !known[ins.Dst] {
+				break
+			}
+			r, ok := foldALU(op, cls == ebpf.ClassALU, val[ins.Dst], src)
+			if ok {
+				val[ins.Dst] = r
+				// Replace the whole computation with a mov of the result
+				// when it fits (strength reduction to a constant).
+				if fitsImm32(r) && op != ebpf.ALUMov {
+					*ins = ebpf.Instruction{Op: cls | ebpf.ALUMov, Dst: ins.Dst, Imm: int32(r)}
+					changed = true
+				}
+			} else {
+				known[ins.Dst] = false
+			}
+		case cls == ebpf.ClassLDX:
+			known[ins.Dst] = false
+		case isCall(*ins):
+			for _, r := range []uint8{ebpf.R0, ebpf.R1, ebpf.R2, ebpf.R3, ebpf.R4, ebpf.R5} {
+				known[r] = false
+			}
+		case isJump(*ins):
+			// Rewrite register comparison operand when known.
+			if ins.Op&ebpf.SrcReg != 0 && known[ins.Src] && fitsImm32(val[ins.Src]) {
+				ins.Op &^= ebpf.SrcReg
+				ins.Imm = int32(val[ins.Src])
+				ins.Src = 0
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+func fitsImm32(v int64) bool { return v >= -(1<<31) && v < 1<<31 }
+
+func foldALU(op uint8, is32 bool, a, b int64) (int64, bool) {
+	if is32 {
+		a, b = int64(uint32(a)), int64(uint32(b))
+	}
+	var r int64
+	switch op {
+	case ebpf.ALUAdd:
+		r = a + b
+	case ebpf.ALUSub:
+		r = a - b
+	case ebpf.ALUMul:
+		r = a * b
+	case ebpf.ALUDiv:
+		if b == 0 {
+			r = 0
+		} else {
+			r = int64(uint64(a) / uint64(b))
+		}
+	case ebpf.ALUMod:
+		if b == 0 {
+			r = a
+		} else {
+			r = int64(uint64(a) % uint64(b))
+		}
+	case ebpf.ALUAnd:
+		r = a & b
+	case ebpf.ALUOr:
+		r = a | b
+	case ebpf.ALUXor:
+		r = a ^ b
+	case ebpf.ALULsh:
+		r = int64(uint64(a) << (uint64(b) & 63))
+	case ebpf.ALURsh:
+		r = int64(uint64(a) >> (uint64(b) & 63))
+	case ebpf.ALUArsh:
+		r = a >> (uint64(b) & 63)
+	default:
+		return 0, false
+	}
+	if is32 {
+		r = int64(uint32(r))
+	}
+	return r, true
+}
+
+// foldBranches turns always/never-taken constant comparisons into
+// unconditional jumps or removals. It only fires when the comparison's
+// dst register constant is block-locally known (tracked by a fresh
+// constProp-style sweep).
+func foldBranches(g *graph) bool {
+	lead := g.leaders()
+	changed := false
+	var known [ebpf.NumRegs]bool
+	var val [ebpf.NumRegs]int64
+	reset := func() {
+		for r := range known {
+			known[r] = false
+		}
+	}
+	reset()
+	for i := 0; i < len(g.ins); i++ {
+		if g.removed[i] {
+			continue
+		}
+		if lead[i] {
+			reset()
+		}
+		ins := &g.ins[i]
+		cls := ins.Class()
+		switch {
+		case ins.IsLDDW():
+			known[ins.Dst], val[ins.Dst] = true, ins.Imm64
+		case cls == ebpf.ClassALU64 || cls == ebpf.ClassALU:
+			if ins.IsEndian() {
+				known[ins.Dst] = false
+				break
+			}
+			op := ins.Op & 0xf0
+			if op == ebpf.ALUMov && ins.Op&ebpf.SrcReg == 0 {
+				known[ins.Dst], val[ins.Dst] = true, int64(ins.Imm)
+				if cls == ebpf.ClassALU {
+					val[ins.Dst] = int64(uint32(int64(ins.Imm)))
+				}
+			} else {
+				known[ins.Dst] = false
+			}
+		case cls == ebpf.ClassLDX:
+			known[ins.Dst] = false
+		case isCall(*ins):
+			for _, r := range []uint8{ebpf.R0, ebpf.R1, ebpf.R2, ebpf.R3, ebpf.R4, ebpf.R5} {
+				known[r] = false
+			}
+		case isJump(*ins) && ins.Op&0xf0 != ebpf.JmpA && ins.Op&ebpf.SrcReg == 0:
+			if !known[ins.Dst] {
+				break
+			}
+			taken, ok := evalCond(ins.Op&0xf0, cls == ebpf.ClassJMP32, val[ins.Dst], int64(ins.Imm))
+			if !ok {
+				break
+			}
+			if taken {
+				t := g.target[i]
+				*ins = ebpf.Ja(0)
+				g.target[i] = t
+			} else {
+				g.removed[i] = true
+				g.target[i] = -1
+			}
+			changed = true
+		}
+	}
+	if changed {
+		g.sweepUnreachable()
+	}
+	return changed
+}
+
+func evalCond(op uint8, is32 bool, a, b int64) (bool, bool) {
+	ua, ub := uint64(a), uint64(b)
+	if is32 {
+		ua, ub = uint64(uint32(ua)), uint64(uint32(ub))
+		a, b = int64(int32(uint32(a))), int64(int32(uint32(b)))
+	}
+	switch op {
+	case ebpf.JmpEq:
+		return ua == ub, true
+	case ebpf.JmpNe:
+		return ua != ub, true
+	case ebpf.JmpGt:
+		return ua > ub, true
+	case ebpf.JmpGe:
+		return ua >= ub, true
+	case ebpf.JmpLt:
+		return ua < ub, true
+	case ebpf.JmpLe:
+		return ua <= ub, true
+	case ebpf.JmpSet:
+		return ua&ub != 0, true
+	case ebpf.JmpSGt:
+		return a > b, true
+	case ebpf.JmpSGe:
+		return a >= b, true
+	case ebpf.JmpSLt:
+		return a < b, true
+	case ebpf.JmpSLe:
+		return a <= b, true
+	}
+	return false, false
+}
+
+// sweepUnreachable removes instructions no longer reachable from entry.
+func (g *graph) sweepUnreachable() {
+	reach := make([]bool, len(g.ins))
+	var visit func(i int)
+	visit = func(i int) {
+		for i >= 0 && i < len(g.ins) {
+			if g.removed[i] {
+				i++
+				continue
+			}
+			if reach[i] {
+				return
+			}
+			reach[i] = true
+			ins := g.ins[i]
+			if isExit(ins) {
+				return
+			}
+			if isJump(ins) {
+				visit(g.target[i])
+				if ins.Op&0xf0 == ebpf.JmpA {
+					return
+				}
+			}
+			i++
+		}
+	}
+	visit(0)
+	for i := range g.ins {
+		if !g.removed[i] && !reach[i] {
+			g.removed[i] = true
+			g.target[i] = -1
+		}
+	}
+}
+
+// deadCode removes pure register writes whose results are never read.
+// A single reverse pass suffices because verified programs only jump
+// forward.
+func deadCode(g *graph) bool {
+	n := len(g.ins)
+	liveIn := make([]uint16, n) // bitmask of live registers at entry of i
+	liveOf := func(i int) uint16 {
+		if i < 0 || i >= n {
+			return 0
+		}
+		return liveIn[i]
+	}
+	changed := false
+	for i := n - 1; i >= 0; i-- {
+		if g.removed[i] {
+			if i+1 < n {
+				liveIn[i] = liveOf(g.next(i + 1))
+			}
+			continue
+		}
+		ins := g.ins[i]
+		var out uint16
+		cls := ins.Class()
+		switch {
+		case isExit(ins):
+			out = 1 << ebpf.R0
+		case isJump(ins):
+			out = liveOf(g.target[i])
+			if ins.Op&0xf0 != ebpf.JmpA {
+				out |= liveOf(g.next(i + 1))
+			}
+		default:
+			out = liveOf(g.next(i + 1))
+		}
+		in := out
+		switch {
+		case ins.IsLDDW():
+			if out&(1<<ins.Dst) == 0 {
+				g.removed[i] = true
+				changed = true
+				in = out
+				break
+			}
+			in &^= 1 << ins.Dst
+		case cls == ebpf.ClassALU64 || cls == ebpf.ClassALU:
+			dstBit := uint16(1) << ins.Dst
+			if out&dstBit == 0 {
+				g.removed[i] = true
+				changed = true
+				break
+			}
+			op := ins.Op & 0xf0
+			if op == ebpf.ALUMov {
+				in &^= dstBit
+			}
+			if ins.Op&ebpf.SrcReg != 0 {
+				in |= 1 << ins.Src
+			}
+			if op != ebpf.ALUMov {
+				in |= dstBit
+			}
+		case cls == ebpf.ClassLDX:
+			// Loads may fault; they are kept even if dst is dead — but a
+			// verified program's loads cannot fault, so dead loads go too.
+			if out&(1<<ins.Dst) == 0 {
+				g.removed[i] = true
+				changed = true
+				break
+			}
+			in &^= 1 << ins.Dst
+			in |= 1 << ins.Src
+		case cls == ebpf.ClassSTX:
+			in |= 1<<ins.Dst | 1<<ins.Src
+		case cls == ebpf.ClassST:
+			in |= 1 << ins.Dst
+		case isCall(ins):
+			in &^= 1 << ebpf.R0
+			in |= 1<<ebpf.R1 | 1<<ebpf.R2 | 1<<ebpf.R3 | 1<<ebpf.R4 | 1<<ebpf.R5
+		case isJump(ins):
+			in |= 1 << ins.Dst
+			if ins.Op&ebpf.SrcReg != 0 {
+				in |= 1 << ins.Src
+			}
+		}
+		liveIn[i] = in
+	}
+	return changed
+}
+
+// emit rebuilds a compact program with recomputed jump offsets.
+func (g *graph) emit() ([]ebpf.Instruction, error) {
+	newIdx := make([]int, len(g.ins))
+	var out []ebpf.Instruction
+	for i, ins := range g.ins {
+		if g.removed[i] {
+			newIdx[i] = -1
+			continue
+		}
+		newIdx[i] = len(out)
+		out = append(out, ins)
+	}
+	// Redirect targets that pointed at removed instructions to the next
+	// live one.
+	resolve := func(old int) int {
+		for old < len(g.ins) && g.removed[old] {
+			old++
+		}
+		if old >= len(g.ins) {
+			return -1
+		}
+		return newIdx[old]
+	}
+	// Compute slot positions of the new program.
+	slotOf := make([]int, len(out)+1)
+	for i, ins := range out {
+		slotOf[i+1] = slotOf[i] + 1
+		if ins.IsLDDW() {
+			slotOf[i+1]++
+		}
+	}
+	oi := 0
+	for i := range g.ins {
+		if g.removed[i] {
+			continue
+		}
+		if isJump(g.ins[i]) {
+			t := resolve(g.target[i])
+			if t < 0 {
+				return nil, errors.New("ehdl: jump target eliminated")
+			}
+			off := slotOf[t] - (slotOf[oi] + 1)
+			if off < -32768 || off > 32767 {
+				return nil, errors.New("ehdl: relayout offset overflow")
+			}
+			out[oi].Off = int16(off)
+		}
+		oi++
+	}
+	if len(out) == 0 {
+		return nil, errors.New("ehdl: optimizer removed entire program")
+	}
+	return out, nil
+}

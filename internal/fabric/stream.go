@@ -1,0 +1,164 @@
+package fabric
+
+import (
+	"errors"
+	"fmt"
+
+	"hyperion/internal/sim"
+)
+
+// ErrStreamFull is returned by Stream.Push when the FIFO is at capacity
+// (AXIS backpressure: TREADY deasserted).
+var ErrStreamFull = errors.New("fabric: stream FIFO full")
+
+// Item is one unit travelling on an AXI-Stream: an opaque payload plus
+// its wire size, which determines how many bus beats it occupies.
+type Item struct {
+	Payload any
+	Bytes   int
+}
+
+// Stream models an AXI-Stream channel: a fixed-width bus clocked at the
+// fabric frequency, with a FIFO of bounded depth and a single downstream
+// sink. Items are delivered in order; each item occupies
+// ceil(Bytes/WidthBytes) beats of exclusive bus time.
+type Stream struct {
+	Name       string
+	WidthBytes int // bus width per beat, e.g. 64 for 512-bit AXIS
+	DepthItems int // FIFO capacity in items
+
+	eng     *sim.Engine
+	period  sim.Duration // one beat
+	sink    func(Item)
+	queue   []Item
+	busy    bool
+	Pushed  int64
+	Dropped int64
+	Bytes   int64
+}
+
+// NewStream creates a stream clocked at clockHz.
+func NewStream(eng *sim.Engine, name string, clockHz int64, widthBytes, depthItems int) *Stream {
+	if widthBytes <= 0 || depthItems <= 0 || clockHz <= 0 {
+		panic("fabric: invalid stream parameters")
+	}
+	return &Stream{
+		Name:       name,
+		WidthBytes: widthBytes,
+		DepthItems: depthItems,
+		eng:        eng,
+		period:     sim.Duration(int64(sim.Second) / clockHz),
+	}
+}
+
+// Connect sets the downstream sink. It must be called before Push.
+func (s *Stream) Connect(sink func(Item)) { s.sink = sink }
+
+// Len returns the current FIFO occupancy.
+func (s *Stream) Len() int { return len(s.queue) }
+
+// Push enqueues an item, or returns ErrStreamFull under backpressure.
+func (s *Stream) Push(it Item) error {
+	if s.sink == nil {
+		panic(fmt.Sprintf("fabric: stream %q pushed before Connect", s.Name))
+	}
+	if it.Bytes <= 0 {
+		it.Bytes = 1
+	}
+	if len(s.queue) >= s.DepthItems {
+		s.Dropped++
+		return ErrStreamFull
+	}
+	s.queue = append(s.queue, it)
+	s.Pushed++
+	s.Bytes += int64(it.Bytes)
+	if !s.busy {
+		s.busy = true
+		s.deliverNext()
+	}
+	return nil
+}
+
+func (s *Stream) deliverNext() {
+	if len(s.queue) == 0 {
+		s.busy = false
+		return
+	}
+	it := s.queue[0]
+	beats := (it.Bytes + s.WidthBytes - 1) / s.WidthBytes
+	if beats < 1 {
+		beats = 1
+	}
+	s.eng.After(sim.Duration(beats)*s.period, "stream:"+s.Name, func() {
+		s.queue = s.queue[1:]
+		s.sink(it)
+		s.deliverNext()
+	})
+}
+
+// Arbiter merges N input streams onto one output in round-robin order —
+// the "AXIS Arbiter" boxes in Figure 2. Inputs are created by In(i); each
+// is a full Stream with its own FIFO, so per-tenant backpressure is
+// isolated.
+type Arbiter struct {
+	Name string
+	out  func(Item)
+	ins  []*Stream
+}
+
+// NewArbiter creates an arbiter with n input streams feeding sink out.
+func NewArbiter(eng *sim.Engine, name string, clockHz int64, widthBytes, depthItems, n int, out func(Item)) *Arbiter {
+	a := &Arbiter{Name: name, out: out}
+	for i := 0; i < n; i++ {
+		st := NewStream(eng, fmt.Sprintf("%s.in%d", name, i), clockHz, widthBytes, depthItems)
+		st.Connect(out)
+		a.ins = append(a.ins, st)
+	}
+	return a
+}
+
+// In returns input port i.
+func (a *Arbiter) In(i int) *Stream { return a.ins[i] }
+
+// Inputs returns the number of input ports.
+func (a *Arbiter) Inputs() int { return len(a.ins) }
+
+// Demux routes items from one input to one of N output sinks using a
+// classifier — the "DEMUX" box behind the QSFP ports in Figure 2.
+type Demux struct {
+	Name     string
+	classify func(Item) int
+	outs     []func(Item)
+	Missed   int64
+}
+
+// NewDemux creates a demux with the given classifier and outputs. A
+// classifier result outside [0, len(outs)) drops the item and counts it
+// in Missed.
+func NewDemux(name string, classify func(Item) int, outs ...func(Item)) *Demux {
+	return &Demux{Name: name, classify: classify, outs: outs}
+}
+
+// Push classifies and forwards one item.
+func (d *Demux) Push(it Item) {
+	i := d.classify(it)
+	if i < 0 || i >= len(d.outs) {
+		d.Missed++
+		return
+	}
+	d.outs[i](it)
+}
+
+// Mux merges pushes from many producers into one sink without modeling
+// extra serialization (the serialization happens on the downstream
+// Stream). It exists so topology code reads like Figure 2.
+type Mux struct {
+	Name string
+	out  func(Item)
+}
+
+// NewMux creates a mux feeding out.
+func NewMux(name string, out func(Item)) *Mux { return &Mux{Name: name, out: out} }
+
+// Push forwards one item.
+func (m *Mux) Push(it Item) { m.out(it) }

@@ -1,0 +1,191 @@
+// Package netsim models the 100 Gbps Ethernet fabric that Hyperion DPUs
+// and client hosts attach to: NICs, full-duplex links with serialization
+// and propagation delay, and a store-and-forward switch with bounded
+// output queues (so transports above see real loss under congestion).
+package netsim
+
+import (
+	"errors"
+	"fmt"
+
+	"hyperion/internal/sim"
+)
+
+// Addr identifies a NIC on the network.
+type Addr string
+
+// Frame is one Ethernet-level unit.
+type Frame struct {
+	Src, Dst Addr
+	Payload  any
+	Bytes    int
+}
+
+// MTU-ish bounds; jumbo frames are the datacenter norm.
+const (
+	MinFrameBytes = 64
+	MaxFrameBytes = 9216
+)
+
+// Errors.
+var (
+	ErrUnknownDst = errors.New("netsim: unknown destination")
+	ErrDupAddr    = errors.New("netsim: address already attached")
+	ErrFrameSize  = errors.New("netsim: frame size out of range")
+)
+
+// Config shapes the network.
+type Config struct {
+	LinkBytesPerSec int64        // per-direction link bandwidth
+	PropDelay       sim.Duration // one-way wire propagation (per hop)
+	SwitchLatency   sim.Duration // switch forwarding latency
+	QueueFrames     int          // switch output queue depth
+}
+
+// DefaultConfig is a 100 GbE datacenter fabric: 12.5 GB/s links, 500 ns
+// propagation per hop, 300 ns cut-through-ish switch latency, 256-frame
+// output queues.
+func DefaultConfig() Config {
+	return Config{
+		LinkBytesPerSec: 12_500_000_000,
+		PropDelay:       500 * sim.Nanosecond,
+		SwitchLatency:   300 * sim.Nanosecond,
+		QueueFrames:     256,
+	}
+}
+
+// NIC is one attached endpoint.
+type NIC struct {
+	Addr Addr
+	net  *Network
+	recv func(Frame)
+
+	txBusy             sim.Time // serialization horizon of the host→switch link
+	TxFrames, RxFrames int64
+	TxBytes, RxBytes   int64
+}
+
+// OnReceive installs the receive handler.
+func (n *NIC) OnReceive(fn func(Frame)) { n.recv = fn }
+
+// Send transmits one frame. Sends serialize on the NIC's uplink; the
+// switch may drop the frame if the destination's output queue is full
+// (counted in the network's Drops).
+func (n *NIC) Send(f Frame) error {
+	f.Src = n.Addr
+	if f.Bytes < MinFrameBytes {
+		f.Bytes = MinFrameBytes
+	}
+	if f.Bytes > MaxFrameBytes {
+		return fmt.Errorf("%w: %d", ErrFrameSize, f.Bytes)
+	}
+	dst, ok := n.net.nics[f.Dst]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownDst, f.Dst)
+	}
+	n.TxFrames++
+	n.TxBytes += int64(f.Bytes)
+	eng := n.net.eng
+	now := eng.Now()
+	start := n.txBusy
+	if start < now {
+		start = now
+	}
+	ser := n.net.serTime(f.Bytes)
+	n.txBusy = start.Add(ser)
+	arriveAtSwitch := n.txBusy.Add(n.net.cfg.PropDelay)
+	eng.At(arriveAtSwitch, "net.uplink:"+string(n.Addr), func() {
+		n.net.switchForward(f, dst)
+	})
+	return nil
+}
+
+// Network is the fabric: a single switch with one full-duplex link per
+// NIC, which matches a rack-scale deployment of Hyperion DPUs.
+type Network struct {
+	eng  *sim.Engine
+	cfg  Config
+	nics map[Addr]*NIC
+	// Per-destination output port state.
+	outBusy  map[Addr]sim.Time
+	outQueue map[Addr]int
+
+	Drops    int64
+	Forwards int64
+}
+
+// New creates an empty network.
+func New(eng *sim.Engine, cfg Config) *Network {
+	if cfg.LinkBytesPerSec <= 0 || cfg.QueueFrames <= 0 {
+		panic("netsim: invalid config")
+	}
+	return &Network{
+		eng:      eng,
+		cfg:      cfg,
+		nics:     make(map[Addr]*NIC),
+		outBusy:  make(map[Addr]sim.Time),
+		outQueue: make(map[Addr]int),
+	}
+}
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Attach adds a NIC with the given address.
+func (n *Network) Attach(addr Addr) (*NIC, error) {
+	if _, ok := n.nics[addr]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrDupAddr, addr)
+	}
+	nic := &NIC{Addr: addr, net: n}
+	n.nics[addr] = nic
+	return nic, nil
+}
+
+// Detach removes a NIC (a host powering off). In-flight frames to the
+// address are dropped at delivery.
+func (n *Network) Detach(addr Addr) {
+	if nic, ok := n.nics[addr]; ok {
+		nic.recv = nil
+		delete(n.nics, addr)
+	}
+}
+
+// serTime is the serialization time of b bytes on one link.
+func (n *Network) serTime(b int) sim.Duration {
+	return sim.Duration(float64(b) / float64(n.cfg.LinkBytesPerSec) * float64(sim.Second))
+}
+
+// switchForward queues the frame on the destination's output port.
+func (n *Network) switchForward(f Frame, dst *NIC) {
+	if n.outQueue[f.Dst] >= n.cfg.QueueFrames {
+		n.Drops++
+		return
+	}
+	n.outQueue[f.Dst]++
+	// Forwarding latency is pipelined: it delays when a frame may start
+	// on the output port but does not consume port bandwidth.
+	ready := n.eng.Now().Add(n.cfg.SwitchLatency)
+	start := n.outBusy[f.Dst]
+	if start < ready {
+		start = ready
+	}
+	ser := n.serTime(f.Bytes)
+	n.outBusy[f.Dst] = start.Add(ser)
+	deliver := n.outBusy[f.Dst].Add(n.cfg.PropDelay)
+	n.Forwards++
+	n.eng.At(deliver, "net.downlink:"+string(f.Dst), func() {
+		n.outQueue[f.Dst]--
+		dst.RxFrames++
+		dst.RxBytes += int64(f.Bytes)
+		if dst.recv != nil {
+			dst.recv(f)
+		}
+	})
+}
+
+// BaseRTT returns the minimum round trip for a small frame: twice
+// (two links' serialization + two propagations + switch latency).
+func (n *Network) BaseRTT() sim.Duration {
+	oneWay := 2*n.cfg.PropDelay + n.cfg.SwitchLatency + 2*n.serTime(MinFrameBytes)
+	return 2 * oneWay
+}

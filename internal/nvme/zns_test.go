@@ -1,0 +1,149 @@
+package nvme
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"hyperion/internal/sim"
+)
+
+func newZNS(t testing.TB, zoneBlocks int64) (*sim.Engine, *ZNS) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	cfg := DefaultConfig("zns0")
+	cfg.Blocks = zoneBlocks * 8 // eight zones
+	host := NewHost(New(eng, cfg), nil)
+	z, err := NewZNS(host, zoneBlocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, z
+}
+
+func TestZoneAppendReturnsLBAs(t *testing.T) {
+	eng, z := newZNS(t, 256)
+	var lbas []int64
+	for i := 0; i < 4; i++ {
+		if err := z.Append(0, make([]byte, 4096*2), func(lba int64, err error) {
+			if err != nil {
+				t.Error(err)
+			}
+			lbas = append(lbas, lba)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Run()
+	for i, lba := range lbas {
+		if lba != int64(i*2) {
+			t.Fatalf("append %d at lba %d, want %d", i, lba, i*2)
+		}
+	}
+	rep := z.Report()
+	if rep[0].State != ZoneOpen || rep[0].WritePointer != 8 {
+		t.Fatalf("zone 0 = %+v", rep[0])
+	}
+}
+
+func TestAppendRoundTripAcrossZones(t *testing.T) {
+	eng, z := newZNS(t, 64)
+	payload := bytes.Repeat([]byte{0xAB}, 4096)
+	var at int64 = -1
+	_ = z.Append(3, payload, func(lba int64, err error) { at = lba })
+	eng.Run()
+	if at != 3*64 {
+		t.Fatalf("zone 3 append at %d", at)
+	}
+	var got []byte
+	if err := z.Read(at, 1, func(data []byte, err error) {
+		if err != nil {
+			t.Error(err)
+		}
+		got = data
+	}); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if !bytes.Equal(got, payload) {
+		t.Fatal("zns read mismatch")
+	}
+}
+
+func TestSequentialWriteRequired(t *testing.T) {
+	eng, z := newZNS(t, 64)
+	if err := z.WriteAt(0, make([]byte, 4096), nil); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	// Writing anywhere but the WP fails.
+	if err := z.WriteAt(5, make([]byte, 4096), nil); !errors.Is(err, ErrNotAtWritePointer) {
+		t.Fatalf("err = %v, want ErrNotAtWritePointer", err)
+	}
+	// Rewriting LBA 0 fails too (no in-place updates).
+	if err := z.WriteAt(0, make([]byte, 4096), nil); !errors.Is(err, ErrNotAtWritePointer) {
+		t.Fatalf("rewrite err = %v", err)
+	}
+	if z.WriteErrors != 2 {
+		t.Fatalf("write errors = %d", z.WriteErrors)
+	}
+}
+
+func TestZoneFullAndReset(t *testing.T) {
+	eng, z := newZNS(t, 4)
+	if err := z.Append(0, make([]byte, 4*4096), nil); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if z.Report()[0].State != ZoneFull {
+		t.Fatal("zone not full")
+	}
+	if err := z.Append(0, make([]byte, 4096), nil); !errors.Is(err, ErrZoneFull) {
+		t.Fatalf("err = %v, want ErrZoneFull", err)
+	}
+	var rerr error
+	if err := z.Reset(0, func(err error) { rerr = err }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	rep := z.Report()[0]
+	if rep.State != ZoneEmpty || rep.WritePointer != 0 {
+		t.Fatalf("after reset: %+v", rep)
+	}
+	if err := z.Append(0, make([]byte, 4096), nil); err != nil {
+		t.Fatalf("append after reset: %v", err)
+	}
+}
+
+func TestReadRules(t *testing.T) {
+	eng, z := newZNS(t, 64)
+	_ = z.Append(0, make([]byte, 2*4096), nil)
+	eng.Run()
+	if err := z.Read(1, 2, func([]byte, error) {}); !errors.Is(err, ErrUnwrittenRead) {
+		t.Fatalf("beyond-wp err = %v", err)
+	}
+	if err := z.Read(62, 4, func([]byte, error) {}); !errors.Is(err, ErrCrossZone) {
+		t.Fatalf("cross-zone err = %v", err)
+	}
+	if err := z.Read(999, 1, func([]byte, error) {}); !errors.Is(err, ErrBadZone) {
+		t.Fatalf("bad zone err = %v", err)
+	}
+}
+
+func TestZNSBadGeometry(t *testing.T) {
+	eng := sim.NewEngine(1)
+	host := NewHost(New(eng, DefaultConfig("x")), nil)
+	if _, err := NewZNS(host, 0); err == nil {
+		t.Fatal("zero zone size accepted")
+	}
+	z, _ := NewZNS(host, 64)
+	if err := z.Append(0, make([]byte, 100), nil); !errors.Is(err, ErrShortWrite) {
+		t.Fatalf("unaligned append err = %v", err)
+	}
+	if err := z.Append(-1, make([]byte, 4096), nil); !errors.Is(err, ErrBadZone) {
+		t.Fatalf("bad zone err = %v", err)
+	}
+}

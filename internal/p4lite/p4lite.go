@@ -1,0 +1,207 @@
+// Package p4lite is the restricted P4 path the paper's §2.2 discusses:
+// "in restricted capabilities (with only filtering and forwarding),
+// there are P4 to eBPF compilers available". It models a P4-style
+// match-action table — exact-match keys over packet header fields,
+// actions that pass, drop, or steer — and compiles it to eBPF, making
+// eBPF the unifying accelerator-independent IR exactly as the paper
+// argues: the same program then runs in the VM or as an eHDL pipeline.
+package p4lite
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"hyperion/internal/ebpf"
+)
+
+// Field selects a packet header slice used as a match key.
+type Field struct {
+	Name   string
+	Offset int // byte offset in the packet context
+	Width  int // 1, 2, 4, or 8 bytes
+}
+
+// ActionKind enumerates what a matching entry does.
+type ActionKind uint8
+
+const (
+	// ActionPass accepts the packet (verdict 0).
+	ActionPass ActionKind = iota
+	// ActionDrop rejects the packet (verdict 1).
+	ActionDrop
+	// ActionForward steers to a port (verdict 0x100 | port).
+	ActionForward
+)
+
+// Action is one entry's consequence.
+type Action struct {
+	Kind ActionKind
+	Port uint8 // for ActionForward
+}
+
+// Verdict encodes an action as the program's r0 value.
+func (a Action) Verdict() uint64 {
+	switch a.Kind {
+	case ActionDrop:
+		return 1
+	case ActionForward:
+		return 0x100 | uint64(a.Port)
+	default:
+		return 0
+	}
+}
+
+// Entry is one exact-match row: one value per table key field.
+type Entry struct {
+	Match  []uint64
+	Action Action
+}
+
+// Table is a P4-style match-action table.
+type Table struct {
+	Name    string
+	Keys    []Field
+	Entries []Entry
+	Default Action
+}
+
+// Errors.
+var (
+	ErrBadField = errors.New("p4lite: bad field")
+	ErrBadEntry = errors.New("p4lite: entry arity does not match keys")
+	ErrTooBig   = errors.New("p4lite: table too large to unroll")
+)
+
+// maxEntries bounds unrolled tables (beyond this a real compiler would
+// emit a map lookup; the unrolled form is what synthesizes to TCAM-like
+// parallel matchers on the fabric).
+const maxEntries = 256
+
+// Validate checks structural invariants.
+func (t *Table) Validate(ctxBytes int) error {
+	if len(t.Keys) == 0 {
+		return fmt.Errorf("%w: table needs at least one key", ErrBadField)
+	}
+	for _, f := range t.Keys {
+		switch f.Width {
+		case 1, 2, 4, 8:
+		default:
+			return fmt.Errorf("%w: %s width %d", ErrBadField, f.Name, f.Width)
+		}
+		if f.Offset < 0 || f.Offset+f.Width > ctxBytes {
+			return fmt.Errorf("%w: %s at [%d,%d) outside packet of %d", ErrBadField, f.Name, f.Offset, f.Offset+f.Width, ctxBytes)
+		}
+	}
+	if len(t.Entries) > maxEntries {
+		return fmt.Errorf("%w: %d entries", ErrTooBig, len(t.Entries))
+	}
+	for i, e := range t.Entries {
+		if len(e.Match) != len(t.Keys) {
+			return fmt.Errorf("%w: entry %d has %d values for %d keys", ErrBadEntry, i, len(e.Match), len(t.Keys))
+		}
+		for k, f := range t.Keys {
+			if f.Width < 8 && e.Match[k] >= 1<<(8*f.Width) {
+				return fmt.Errorf("%w: entry %d key %s value %#x exceeds width", ErrBadEntry, i, f.Name, e.Match[k])
+			}
+		}
+	}
+	return nil
+}
+
+// loadMnemonic maps a field width to its load instruction.
+func loadMnemonic(width int) string {
+	switch width {
+	case 1:
+		return "ldxb"
+	case 2:
+		return "ldxh"
+	case 4:
+		return "ldxw"
+	default:
+		return "ldxdw"
+	}
+}
+
+// CompileToSource emits eBPF assembler implementing the table: load all
+// key fields once, then an unrolled exact-match chain; first match wins;
+// fall through to the default action.
+//
+// Register plan: r2..r5 hold up to four key fields (r1 is the packet).
+func (t *Table) CompileToSource(ctxBytes int) (string, error) {
+	if err := t.Validate(ctxBytes); err != nil {
+		return "", err
+	}
+	if len(t.Keys) > 4 {
+		return "", fmt.Errorf("%w: more than 4 key fields", ErrBadField)
+	}
+	var b strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
+	w("; p4lite table %q: %d keys, %d entries", t.Name, len(t.Keys), len(t.Entries))
+	for i, f := range t.Keys {
+		w("	%s r%d, [r1+%d]   ; %s", loadMnemonic(f.Width), 2+i, f.Offset, f.Name)
+	}
+	for ei, e := range t.Entries {
+		// Any key mismatch skips to the next entry.
+		for ki := range t.Keys {
+			if e.Match[ki] < 1<<31 {
+				w("	jne r%d, %d, miss_%d", 2+ki, e.Match[ki], ei)
+			} else {
+				// Wide constants need a register compare.
+				w("	lddw r0, %#x", e.Match[ki])
+				w("	jne r%d, r0, miss_%d", 2+ki, ei)
+			}
+		}
+		w("	mov r0, %d", e.Action.Verdict())
+		w("	exit")
+		w("miss_%d:", ei)
+	}
+	w("	mov r0, %d   ; default action", t.Default.Verdict())
+	w("	exit")
+	return b.String(), nil
+}
+
+// Compile assembles and verifies the table program, returning the
+// instructions ready for the VM or the eHDL pipeline compiler.
+func (t *Table) Compile(ctxBytes int) ([]ebpf.Instruction, error) {
+	src, err := t.CompileToSource(ctxBytes)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := ebpf.Assemble(src)
+	if err != nil {
+		return nil, fmt.Errorf("p4lite: generated bad assembly: %w", err)
+	}
+	cfg := ebpf.DefaultVerifierConfig(nil)
+	cfg.CtxSize = ctxBytes
+	if err := ebpf.Verify(prog, cfg); err != nil {
+		return nil, fmt.Errorf("p4lite: generated unverifiable program: %w", err)
+	}
+	return prog, nil
+}
+
+// Eval is the reference interpretation of the table (the model the
+// compiled program is tested against).
+func (t *Table) Eval(pkt []byte) uint64 {
+	keys := make([]uint64, len(t.Keys))
+	for i, f := range t.Keys {
+		var v uint64
+		for b := f.Width - 1; b >= 0; b-- {
+			v = v<<8 | uint64(pkt[f.Offset+b])
+		}
+		keys[i] = v
+	}
+	for _, e := range t.Entries {
+		match := true
+		for k := range keys {
+			if keys[k] != e.Match[k] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return e.Action.Verdict()
+		}
+	}
+	return t.Default.Verdict()
+}

@@ -1,0 +1,201 @@
+package p4lite
+
+import (
+	"errors"
+	"testing"
+
+	"hyperion/internal/ebpf"
+	"hyperion/internal/ehdl"
+	"hyperion/internal/sim"
+)
+
+// aclTable is a representative firewall/steering table over the
+// trace.Packet header layout (src ip @0, dst port @10, proto @12).
+func aclTable() *Table {
+	return &Table{
+		Name: "acl",
+		Keys: []Field{
+			{Name: "src_ip", Offset: 0, Width: 4},
+			{Name: "dst_port", Offset: 10, Width: 2},
+		},
+		Entries: []Entry{
+			{Match: []uint64{0x0a000001, 22}, Action: Action{Kind: ActionDrop}},
+			{Match: []uint64{0x0a000002, 443}, Action: Action{Kind: ActionForward, Port: 7}},
+			{Match: []uint64{0xc0a80001, 80}, Action: Action{Kind: ActionPass}},
+		},
+		Default: Action{Kind: ActionDrop},
+	}
+}
+
+func mkPkt(src uint32, port uint16) []byte {
+	p := make([]byte, 20)
+	p[0] = byte(src)
+	p[1] = byte(src >> 8)
+	p[2] = byte(src >> 16)
+	p[3] = byte(src >> 24)
+	p[10] = byte(port)
+	p[11] = byte(port >> 8)
+	return p
+}
+
+func TestCompiledMatchesModel(t *testing.T) {
+	tbl := aclTable()
+	prog, err := tbl.Compile(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := ebpf.NewVM(nil)
+	if err := vm.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		src  uint32
+		port uint16
+	}{
+		{0x0a000001, 22},   // entry 0: drop
+		{0x0a000002, 443},  // entry 1: forward 7
+		{0xc0a80001, 80},   // entry 2: pass
+		{0x0a000001, 80},   // partial match: default drop
+		{0x12345678, 9999}, // no match: default
+	}
+	for _, c := range cases {
+		pkt := mkPkt(c.src, c.port)
+		want := tbl.Eval(pkt)
+		got, err := vm.Run(pkt)
+		if err != nil {
+			t.Fatalf("src %#x port %d: %v", c.src, c.port, err)
+		}
+		if got != want {
+			t.Fatalf("src %#x port %d: compiled %#x, model %#x", c.src, c.port, got, want)
+		}
+	}
+}
+
+func TestPropertyRandomTables(t *testing.T) {
+	r := sim.NewRand(19)
+	for trial := 0; trial < 30; trial++ {
+		nkeys := 1 + r.Intn(3)
+		var keys []Field
+		widths := []int{1, 2, 4}
+		for k := 0; k < nkeys; k++ {
+			w := widths[r.Intn(len(widths))]
+			keys = append(keys, Field{Name: "f", Offset: k * 4, Width: w})
+		}
+		tbl := &Table{Name: "rand", Keys: keys, Default: Action{Kind: ActionKind(r.Intn(2))}}
+		nents := 1 + r.Intn(8)
+		for e := 0; e < nents; e++ {
+			var match []uint64
+			for _, f := range keys {
+				match = append(match, r.Uint64()%(1<<(8*uint(f.Width))))
+			}
+			tbl.Entries = append(tbl.Entries, Entry{
+				Match:  match,
+				Action: Action{Kind: ActionKind(r.Intn(3)), Port: uint8(r.Intn(16))},
+			})
+		}
+		prog, err := tbl.Compile(20)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		vm := ebpf.NewVM(nil)
+		_ = vm.Load(prog)
+		for p := 0; p < 50; p++ {
+			pkt := make([]byte, 20)
+			for i := range pkt {
+				pkt[i] = byte(r.Intn(4)) // small alphabet provokes matches
+			}
+			// Sometimes plant an exact entry match.
+			if r.Intn(2) == 0 && len(tbl.Entries) > 0 {
+				e := tbl.Entries[r.Intn(len(tbl.Entries))]
+				for ki, f := range keys {
+					v := e.Match[ki]
+					for b := 0; b < f.Width; b++ {
+						pkt[f.Offset+b] = byte(v >> (8 * uint(b)))
+					}
+				}
+			}
+			want := tbl.Eval(pkt)
+			got, err := vm.Run(pkt)
+			if err != nil {
+				t.Fatalf("trial %d pkt %d: %v", trial, p, err)
+			}
+			if got != want {
+				t.Fatalf("trial %d pkt %d: compiled %#x model %#x", trial, p, got, want)
+			}
+		}
+	}
+}
+
+func TestWideKeyUsesRegisterCompare(t *testing.T) {
+	tbl := &Table{
+		Name:    "wide",
+		Keys:    []Field{{Name: "cookie", Offset: 0, Width: 8}},
+		Entries: []Entry{{Match: []uint64{0xdeadbeefcafef00d}, Action: Action{Kind: ActionDrop}}},
+		Default: Action{Kind: ActionPass},
+	}
+	prog, err := tbl.Compile(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := ebpf.NewVM(nil)
+	_ = vm.Load(prog)
+	pkt := make([]byte, 20)
+	for i, b := range []byte{0x0d, 0xf0, 0xfe, 0xca, 0xef, 0xbe, 0xad, 0xde} {
+		pkt[i] = b
+	}
+	got, err := vm.Run(pkt)
+	if err != nil || got != 1 {
+		t.Fatalf("wide match = %#x, %v", got, err)
+	}
+	pkt[0] = 0
+	got, _ = vm.Run(pkt)
+	if got != 0 {
+		t.Fatalf("wide mismatch = %#x, want pass", got)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []*Table{
+		{Name: "nokeys", Default: Action{}},
+		{Name: "badwidth", Keys: []Field{{Offset: 0, Width: 3}}},
+		{Name: "oob", Keys: []Field{{Offset: 18, Width: 4}}},
+		{Name: "arity", Keys: []Field{{Offset: 0, Width: 1}},
+			Entries: []Entry{{Match: []uint64{1, 2}}}},
+		{Name: "overflow", Keys: []Field{{Offset: 0, Width: 1}},
+			Entries: []Entry{{Match: []uint64{300}}}},
+	}
+	for _, tbl := range bad {
+		if _, err := tbl.Compile(20); err == nil {
+			t.Errorf("table %s compiled, want error", tbl.Name)
+		}
+	}
+	huge := &Table{Name: "huge", Keys: []Field{{Offset: 0, Width: 1}}}
+	for i := 0; i < maxEntries+1; i++ {
+		huge.Entries = append(huge.Entries, Entry{Match: []uint64{uint64(i % 256)}})
+	}
+	if _, err := huge.Compile(20); !errors.Is(err, ErrTooBig) {
+		t.Fatalf("huge err = %v", err)
+	}
+}
+
+func TestCompilesToPipeline(t *testing.T) {
+	// The table program is a valid eHDL input — eBPF as the unifying IR.
+	tbl := aclTable()
+	prog, err := tbl.Compile(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vcfg := ebpf.DefaultVerifierConfig(nil)
+	vcfg.CtxSize = 20
+	pipe, err := ehdl.Compile(prog, ehdl.Options{Name: "acl", Optimize: true, CtxBytes: 20, Verifier: vcfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pipe.Stats.II != 1 {
+		t.Fatalf("match-action pipeline II = %d, want 1 (line rate)", pipe.Stats.II)
+	}
+	res := pipe.Exec(mkPkt(0x0a000002, 443))
+	if res.Err != nil || res.Ret != 0x107 {
+		t.Fatalf("pipeline verdict = %#x, %v", res.Ret, res.Err)
+	}
+}

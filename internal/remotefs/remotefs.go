@@ -1,0 +1,179 @@
+// Package remotefs is the §2.4 "remote file system access acceleration
+// with DPUs using virtio-fs" scenario (DPFS-style): the filesystem runs
+// entirely on the DPU next to its flash, and clients mount it over the
+// network with simple file verbs — no client-side filesystem code, no
+// host CPU on the server side.
+package remotefs
+
+import (
+	"errors"
+
+	"hyperion/internal/core"
+	"hyperion/internal/netsim"
+	"hyperion/internal/rpc"
+	"hyperion/internal/storage/hfs"
+)
+
+// Method names.
+const (
+	MethodRead    = "fs.read"
+	MethodWrite   = "fs.write"
+	MethodMkdir   = "fs.mkdir"
+	MethodReadDir = "fs.readdir"
+	MethodStat    = "fs.stat"
+	MethodUnlink  = "fs.unlink"
+)
+
+// WriteArgs carries a whole-file write.
+type WriteArgs struct {
+	Path string
+	Data []byte
+}
+
+// StatReply mirrors the interesting inode fields.
+type StatReply struct {
+	Ino  uint64
+	Type uint8
+	Size int64
+}
+
+// ErrBadArgs reports a malformed request.
+var ErrBadArgs = errors.New("remotefs: bad arguments")
+
+// Server exports an hfs instance from a DPU.
+type Server struct {
+	dpu *core.DPU
+	fs  *hfs.FS
+
+	Reads, Writes int64
+}
+
+// NewServer registers the file methods on the DPU's control server.
+func NewServer(d *core.DPU, srv *rpc.Server, fs *hfs.FS) *Server {
+	s := &Server{dpu: d, fs: fs}
+	finish := func(respond func(any, int, error), val any, bytes int, err error) {
+		// Storage cost accrued on the DPU's view becomes response delay.
+		cost := d.View.TakeCost()
+		d.Eng.After(cost, "remotefs", func() { respond(val, bytes, err) })
+	}
+	srv.Handle(MethodRead, func(arg any, respond func(any, int, error)) {
+		path, ok := arg.(string)
+		if !ok {
+			respond(nil, 0, ErrBadArgs)
+			return
+		}
+		s.Reads++
+		data, err := fs.ReadFile(path)
+		finish(respond, data, len(data)+64, err)
+	})
+	srv.Handle(MethodWrite, func(arg any, respond func(any, int, error)) {
+		wa, ok := arg.(WriteArgs)
+		if !ok {
+			respond(nil, 0, ErrBadArgs)
+			return
+		}
+		s.Writes++
+		err := fs.WriteFile(wa.Path, wa.Data)
+		finish(respond, true, 64, err)
+	})
+	srv.Handle(MethodMkdir, func(arg any, respond func(any, int, error)) {
+		path, ok := arg.(string)
+		if !ok {
+			respond(nil, 0, ErrBadArgs)
+			return
+		}
+		finish(respond, true, 64, fs.Mkdir(path))
+	})
+	srv.Handle(MethodReadDir, func(arg any, respond func(any, int, error)) {
+		path, ok := arg.(string)
+		if !ok {
+			respond(nil, 0, ErrBadArgs)
+			return
+		}
+		ents, err := fs.ReadDir(path)
+		finish(respond, ents, len(ents)*32+64, err)
+	})
+	srv.Handle(MethodStat, func(arg any, respond func(any, int, error)) {
+		path, ok := arg.(string)
+		if !ok {
+			respond(nil, 0, ErrBadArgs)
+			return
+		}
+		ino, err := fs.Stat(path)
+		if err != nil {
+			finish(respond, nil, 64, err)
+			return
+		}
+		finish(respond, StatReply{Ino: ino.Ino, Type: ino.Type, Size: ino.Size}, 64, nil)
+	})
+	srv.Handle(MethodUnlink, func(arg any, respond func(any, int, error)) {
+		path, ok := arg.(string)
+		if !ok {
+			respond(nil, 0, ErrBadArgs)
+			return
+		}
+		finish(respond, true, 64, fs.Unlink(path))
+	})
+	return s
+}
+
+// Mount is the client-side handle.
+type Mount struct {
+	c    *rpc.Client
+	addr netsim.Addr
+}
+
+// NewMount attaches to a served filesystem.
+func NewMount(c *rpc.Client, addr netsim.Addr) *Mount { return &Mount{c: c, addr: addr} }
+
+// ReadFile fetches a whole file.
+func (m *Mount) ReadFile(path string, cb func([]byte, error)) {
+	m.c.Call(m.addr, MethodRead, path, len(path)+64, func(val any, err error) {
+		if err != nil {
+			cb(nil, err)
+			return
+		}
+		data, _ := val.([]byte)
+		cb(data, nil)
+	})
+}
+
+// WriteFile replaces a whole file.
+func (m *Mount) WriteFile(path string, data []byte, cb func(error)) {
+	m.c.Call(m.addr, MethodWrite, WriteArgs{Path: path, Data: data}, len(path)+len(data)+64, func(_ any, err error) {
+		cb(err)
+	})
+}
+
+// Mkdir creates a directory.
+func (m *Mount) Mkdir(path string, cb func(error)) {
+	m.c.Call(m.addr, MethodMkdir, path, len(path)+64, func(_ any, err error) { cb(err) })
+}
+
+// ReadDir lists a directory.
+func (m *Mount) ReadDir(path string, cb func([]hfs.DirEntry, error)) {
+	m.c.Call(m.addr, MethodReadDir, path, len(path)+64, func(val any, err error) {
+		if err != nil {
+			cb(nil, err)
+			return
+		}
+		ents, _ := val.([]hfs.DirEntry)
+		cb(ents, nil)
+	})
+}
+
+// Stat queries a path.
+func (m *Mount) Stat(path string, cb func(StatReply, error)) {
+	m.c.Call(m.addr, MethodStat, path, len(path)+64, func(val any, err error) {
+		if err != nil {
+			cb(StatReply{}, err)
+			return
+		}
+		cb(val.(StatReply), nil)
+	})
+}
+
+// Unlink removes a file or empty directory.
+func (m *Mount) Unlink(path string, cb func(error)) {
+	m.c.Call(m.addr, MethodUnlink, path, len(path)+64, func(_ any, err error) { cb(err) })
+}

@@ -1,0 +1,122 @@
+package remotefs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"hyperion/internal/core"
+	"hyperion/internal/netsim"
+	"hyperion/internal/rpc"
+	"hyperion/internal/seg"
+	"hyperion/internal/sim"
+	"hyperion/internal/storage/hfs"
+	"hyperion/internal/transport"
+)
+
+func rig(t testing.TB) (*sim.Engine, *Server, *Mount) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	net := netsim.New(eng, netsim.DefaultConfig())
+	cfg := core.DefaultConfig("nas")
+	cfg.NVMe.Blocks = 1 << 20
+	cfg.Seg.DRAMBytes = 64 << 20
+	cfg.Seg.CheckpointEvery = 0
+	d, _, err := core.Boot(eng, net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := hfs.Mkfs(d.View, seg.OID(0xF5, 0), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(d, d.CtrlSrv, fs)
+	cn, _ := net.Attach("nfs-client")
+	cli := rpc.NewClient(eng, transport.New(eng, cfg.Transport, cn))
+	cli.Timeout = sim.Duration(sim.Second)
+	return eng, srv, NewMount(cli, d.ControlAddr())
+}
+
+func TestRemoteFileLifecycle(t *testing.T) {
+	eng, srv, m := rig(t)
+	var step int
+	check := func(err error) {
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		step++
+	}
+	m.Mkdir("/shared", func(err error) { check(err) })
+	eng.Run()
+	content := bytes.Repeat([]byte("remote!"), 5000)
+	m.WriteFile("/shared/big.bin", content, func(err error) { check(err) })
+	eng.Run()
+	var got []byte
+	m.ReadFile("/shared/big.bin", func(data []byte, err error) {
+		check(err)
+		got = data
+	})
+	eng.Run()
+	if !bytes.Equal(got, content) {
+		t.Fatal("remote read mismatch")
+	}
+	var st StatReply
+	m.Stat("/shared/big.bin", func(rep StatReply, err error) {
+		check(err)
+		st = rep
+	})
+	eng.Run()
+	if st.Size != int64(len(content)) || st.Type != hfs.TypeFile {
+		t.Fatalf("stat = %+v", st)
+	}
+	var ents []hfs.DirEntry
+	m.ReadDir("/shared", func(e []hfs.DirEntry, err error) {
+		check(err)
+		ents = e
+	})
+	eng.Run()
+	if len(ents) != 1 || ents[0].Name != "big.bin" {
+		t.Fatalf("readdir = %v", ents)
+	}
+	m.Unlink("/shared/big.bin", func(err error) { check(err) })
+	eng.Run()
+	var rerr error
+	m.ReadFile("/shared/big.bin", func(_ []byte, err error) { rerr = err })
+	eng.Run()
+	if rerr == nil {
+		t.Fatal("read after unlink succeeded")
+	}
+	if srv.Reads != 2 || srv.Writes != 1 {
+		t.Fatalf("server counters r=%d w=%d", srv.Reads, srv.Writes)
+	}
+}
+
+func TestRemoteErrorsPropagate(t *testing.T) {
+	eng, _, m := rig(t)
+	var got error
+	m.ReadFile("/missing", func(_ []byte, err error) { got = err })
+	eng.Run()
+	if !errors.Is(got, rpc.ErrRemote) {
+		t.Fatalf("err = %v, want wrapped remote error", got)
+	}
+	m.Mkdir("/a/b/c", func(err error) { got = err }) // parent missing
+	eng.Run()
+	if got == nil {
+		t.Fatal("mkdir with missing parent succeeded")
+	}
+}
+
+func TestRemoteReadChargesStorageTime(t *testing.T) {
+	eng, _, m := rig(t)
+	m.WriteFile("/f", bytes.Repeat([]byte{1}, 1<<16), func(error) {})
+	eng.Run()
+	start := eng.Now()
+	var end sim.Time
+	m.ReadFile("/f", func([]byte, error) { end = eng.Now() })
+	eng.Run()
+	// Path resolution + 64 KiB from flash: must cost at least one flash
+	// read's worth of time on the durable filesystem.
+	if end.Sub(start) < 70*sim.Microsecond {
+		t.Fatalf("remote read took %v: storage time not charged", end.Sub(start))
+	}
+}

@@ -1,0 +1,212 @@
+// Package rpc is the flexible RPC interface of §2.4 (after Willow):
+// clients drive requests directly to the DPU that owns the data
+// (client-driven routing), and the server executes handlers either
+// run-to-completion — the shared-nothing fast path the paper advocates —
+// or through a queued worker, the ablation's baseline.
+package rpc
+
+import (
+	"errors"
+	"fmt"
+
+	"hyperion/internal/netsim"
+	"hyperion/internal/sim"
+	"hyperion/internal/transport"
+)
+
+// Mode selects the server execution discipline.
+type Mode int
+
+const (
+	// RunToCompletion executes the handler inline at message delivery.
+	RunToCompletion Mode = iota
+	// Queued enqueues requests for a single dispatcher goroutine-model
+	// with per-dispatch overhead (a CPU-style request queue).
+	Queued
+)
+
+// Errors.
+var (
+	ErrTimeout  = errors.New("rpc: request timed out")
+	ErrNoMethod = errors.New("rpc: no such method")
+	ErrRemote   = errors.New("rpc: remote error")
+)
+
+type request struct {
+	ID     uint64
+	Method string
+	Arg    any
+}
+
+type response struct {
+	ID  uint64
+	Val any
+	Err string
+	// bytes of the response body, for wire accounting.
+}
+
+// Handler serves one method. respond must be called exactly once; it
+// may be called asynchronously after storage completes. respBytes is
+// the response's wire size.
+type Handler func(arg any, respond func(val any, respBytes int, err error))
+
+// Server dispatches incoming requests to handlers.
+type Server struct {
+	eng      *sim.Engine
+	ep       transport.Endpoint
+	mode     Mode
+	handlers map[string]Handler
+
+	// Queued-mode state.
+	queue            []func()
+	draining         bool
+	DispatchOverhead sim.Duration
+
+	Requests, Errors int64
+}
+
+// NewServer wraps a transport endpoint.
+func NewServer(eng *sim.Engine, ep transport.Endpoint, mode Mode) *Server {
+	s := &Server{
+		eng:              eng,
+		ep:               ep,
+		mode:             mode,
+		handlers:         make(map[string]Handler),
+		DispatchOverhead: 2 * sim.Microsecond,
+	}
+	ep.OnMessage(s.onMessage)
+	return s
+}
+
+// Handle registers a method.
+func (s *Server) Handle(method string, h Handler) { s.handlers[method] = h }
+
+func (s *Server) onMessage(src netsim.Addr, msg transport.Message) {
+	req, ok := msg.Payload.(request)
+	if !ok {
+		return
+	}
+	s.Requests++
+	work := func() { s.serve(src, req) }
+	if s.mode == RunToCompletion {
+		work()
+		return
+	}
+	s.queue = append(s.queue, work)
+	s.drain()
+}
+
+// drain processes the queue one item at a time with dispatch overhead,
+// modeling a single CPU worker.
+func (s *Server) drain() {
+	if s.draining || len(s.queue) == 0 {
+		return
+	}
+	s.draining = true
+	next := s.queue[0]
+	s.queue = s.queue[1:]
+	s.eng.After(s.DispatchOverhead, "rpc.dispatch", func() {
+		next()
+		s.draining = false
+		s.drain()
+	})
+}
+
+func (s *Server) serve(src netsim.Addr, req request) {
+	h, ok := s.handlers[req.Method]
+	if !ok {
+		s.Errors++
+		s.reply(src, response{ID: req.ID, Err: ErrNoMethod.Error() + ": " + req.Method}, 64)
+		return
+	}
+	done := false
+	h(req.Arg, func(val any, respBytes int, err error) {
+		if done {
+			panic("rpc: respond called twice for " + req.Method)
+		}
+		done = true
+		resp := response{ID: req.ID, Val: val}
+		if err != nil {
+			s.Errors++
+			resp.Err = err.Error()
+			resp.Val = nil
+		}
+		if respBytes < 64 {
+			respBytes = 64
+		}
+		s.reply(src, resp, respBytes)
+	})
+}
+
+func (s *Server) reply(dst netsim.Addr, resp response, bytes int) {
+	_ = s.ep.Send(dst, transport.Message{Payload: resp, Bytes: bytes})
+}
+
+// Client issues requests.
+type Client struct {
+	eng     *sim.Engine
+	ep      transport.Endpoint
+	nextID  uint64
+	pending map[uint64]*pendingCall
+	Timeout sim.Duration
+
+	Calls, Timeouts int64
+}
+
+type pendingCall struct {
+	cb    func(val any, err error)
+	timer *sim.Event
+}
+
+// NewClient wraps a transport endpoint.
+func NewClient(eng *sim.Engine, ep transport.Endpoint) *Client {
+	c := &Client{eng: eng, ep: ep, pending: make(map[uint64]*pendingCall), Timeout: 100 * sim.Millisecond}
+	ep.OnMessage(c.onMessage)
+	return c
+}
+
+func (c *Client) onMessage(src netsim.Addr, msg transport.Message) {
+	resp, ok := msg.Payload.(response)
+	if !ok {
+		return
+	}
+	pc, ok := c.pending[resp.ID]
+	if !ok {
+		return
+	}
+	delete(c.pending, resp.ID)
+	if pc.timer != nil {
+		c.eng.Cancel(pc.timer)
+	}
+	if resp.Err != "" {
+		pc.cb(nil, fmt.Errorf("%w: %s", ErrRemote, resp.Err))
+		return
+	}
+	pc.cb(resp.Val, nil)
+}
+
+// Call sends a request of argBytes wire size and invokes cb with the
+// response or error. cb runs exactly once.
+func (c *Client) Call(dst netsim.Addr, method string, arg any, argBytes int, cb func(val any, err error)) {
+	c.Calls++
+	c.nextID++
+	id := c.nextID
+	if argBytes < 64 {
+		argBytes = 64
+	}
+	pc := &pendingCall{cb: cb}
+	c.pending[id] = pc
+	pc.timer = c.eng.After(c.Timeout, "rpc.timeout", func() {
+		if _, still := c.pending[id]; still {
+			delete(c.pending, id)
+			c.Timeouts++
+			cb(nil, ErrTimeout)
+		}
+	})
+	err := c.ep.Send(dst, transport.Message{Payload: request{ID: id, Method: method, Arg: arg}, Bytes: argBytes})
+	if err != nil {
+		delete(c.pending, id)
+		c.eng.Cancel(pc.timer)
+		cb(nil, err)
+	}
+}

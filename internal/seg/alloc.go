@@ -1,0 +1,130 @@
+package seg
+
+import (
+	"sort"
+)
+
+// allocator is a first-fit free-list allocator over a linear space of
+// units (bytes for DRAM, blocks for NVMe). base offsets every returned
+// address (used to reserve the table checkpoint area).
+type allocator struct {
+	base  int64
+	total int64
+	holes []hole // sorted by addr, coalesced
+}
+
+type hole struct{ addr, size int64 }
+
+func newAllocator(total int64) *allocator {
+	if total < 0 {
+		total = 0
+	}
+	return &allocator{total: total, holes: []hole{{0, total}}}
+}
+
+// free returns the total unallocated units.
+func (a *allocator) free() int64 {
+	var f int64
+	for _, h := range a.holes {
+		f += h.size
+	}
+	return f
+}
+
+// alloc reserves n units, returning their starting address.
+func (a *allocator) alloc(n int64) (int64, error) {
+	if n <= 0 {
+		return 0, ErrNoSpace
+	}
+	for i := range a.holes {
+		if a.holes[i].size >= n {
+			addr := a.holes[i].addr
+			a.holes[i].addr += n
+			a.holes[i].size -= n
+			if a.holes[i].size == 0 {
+				a.holes = append(a.holes[:i], a.holes[i+1:]...)
+			}
+			return addr + a.base, nil
+		}
+	}
+	return 0, ErrNoSpace
+}
+
+// release returns n units at addr to the free list, coalescing
+// neighbours.
+func (a *allocator) release(addr, n int64) {
+	if n <= 0 {
+		return
+	}
+	addr -= a.base
+	i := sort.Search(len(a.holes), func(i int) bool { return a.holes[i].addr >= addr })
+	a.holes = append(a.holes, hole{})
+	copy(a.holes[i+1:], a.holes[i:])
+	a.holes[i] = hole{addr, n}
+	// Coalesce with next, then previous.
+	if i+1 < len(a.holes) && a.holes[i].addr+a.holes[i].size == a.holes[i+1].addr {
+		a.holes[i].size += a.holes[i+1].size
+		a.holes = append(a.holes[:i+1], a.holes[i+2:]...)
+	}
+	if i > 0 && a.holes[i-1].addr+a.holes[i-1].size == a.holes[i].addr {
+		a.holes[i-1].size += a.holes[i].size
+		a.holes = append(a.holes[:i], a.holes[i+1:]...)
+	}
+}
+
+// lruCache models the hardware segment-descriptor cache: presence only,
+// no payload (the cost model cares about hit/miss, not contents).
+type lruCache struct {
+	cap   int
+	order []ObjectID // front = LRU, back = MRU
+	set   map[ObjectID]bool
+}
+
+func newLRU(cap int) *lruCache {
+	return &lruCache{cap: cap, set: make(map[ObjectID]bool, cap)}
+}
+
+func (c *lruCache) get(id ObjectID) bool {
+	if !c.set[id] {
+		return false
+	}
+	c.touch(id)
+	return true
+}
+
+func (c *lruCache) put(id ObjectID) {
+	if c.set[id] {
+		c.touch(id)
+		return
+	}
+	if len(c.order) >= c.cap {
+		victim := c.order[0]
+		c.order = c.order[1:]
+		delete(c.set, victim)
+	}
+	c.order = append(c.order, id)
+	c.set[id] = true
+}
+
+func (c *lruCache) touch(id ObjectID) {
+	for i, v := range c.order {
+		if v == id {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			c.order = append(c.order, id)
+			return
+		}
+	}
+}
+
+func (c *lruCache) remove(id ObjectID) {
+	if !c.set[id] {
+		return
+	}
+	delete(c.set, id)
+	for i, v := range c.order {
+		if v == id {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,62 @@
+// Package seg implements Hyperion's single-level, segmentation-based
+// unified storage-memory model (§2.1 of the paper, inspired by
+// Twizzler/AS400/EROS): 128-bit object identifiers resolve through a
+// segment translation table to either FPGA DRAM or NVMe bus addresses.
+// Translation is object-granular — coarser than page-granular virtual
+// memory — and the table itself is periodically persisted to a reserved
+// control area on NVMe so the store recovers after power loss.
+package seg
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ObjectID is a 128-bit object identifier.
+type ObjectID struct {
+	Hi, Lo uint64
+}
+
+// String renders the id as 32 hex digits.
+func (id ObjectID) String() string { return fmt.Sprintf("%016x%016x", id.Hi, id.Lo) }
+
+// IsZero reports whether the id is the zero id (never a valid object).
+func (id ObjectID) IsZero() bool { return id.Hi == 0 && id.Lo == 0 }
+
+// Less orders ids lexicographically.
+func (id ObjectID) Less(other ObjectID) bool {
+	if id.Hi != other.Hi {
+		return id.Hi < other.Hi
+	}
+	return id.Lo < other.Lo
+}
+
+// ParseObjectID parses a 32-hex-digit id.
+func ParseObjectID(s string) (ObjectID, error) {
+	if len(s) != 32 {
+		return ObjectID{}, errors.New("seg: object id must be 32 hex digits")
+	}
+	var id ObjectID
+	if _, err := fmt.Sscanf(s[:16], "%016x", &id.Hi); err != nil {
+		return ObjectID{}, fmt.Errorf("seg: bad object id: %v", err)
+	}
+	if _, err := fmt.Sscanf(s[16:], "%016x", &id.Lo); err != nil {
+		return ObjectID{}, fmt.Errorf("seg: bad object id: %v", err)
+	}
+	return id, nil
+}
+
+// OID is shorthand for building ids in code and tests.
+func OID(hi, lo uint64) ObjectID { return ObjectID{Hi: hi, Lo: lo} }
+
+// EncodeTo writes the id's 16-byte little-endian form into b.
+func (id ObjectID) EncodeTo(b []byte) {
+	binary.LittleEndian.PutUint64(b, id.Hi)
+	binary.LittleEndian.PutUint64(b[8:], id.Lo)
+}
+
+// DecodeID reads a 16-byte little-endian id from b.
+func DecodeID(b []byte) ObjectID {
+	return ObjectID{Hi: binary.LittleEndian.Uint64(b), Lo: binary.LittleEndian.Uint64(b[8:])}
+}

@@ -1,0 +1,152 @@
+package seg
+
+import (
+	"fmt"
+
+	"hyperion/internal/nvme"
+	"hyperion/internal/sim"
+)
+
+// SyncView is the synchronous, functional access path used by the
+// storage structures built on the segment store (B+ tree, LSM tree,
+// filesystem, logs). Operations move bytes immediately and accumulate
+// the latency the same access would cost on the modeled hardware;
+// callers drain the accumulated cost with TakeCost and charge it to the
+// simulation (typically by delaying their completion callback).
+//
+// This functional/timing split keeps pointer-walking code ordinary Go
+// while preserving the dependent-access latency that the experiments
+// measure. Queueing effects between concurrent operations are not
+// modeled on this path; the async Store API remains for that.
+type SyncView struct {
+	s    *Store
+	cost sim.Duration
+
+	// Op counters for experiment reporting.
+	Reads, Writes           int64
+	DevReads, DevWrites     int64
+	BytesRead, BytesWritten int64
+}
+
+// NewSyncView creates a view over s.
+func NewSyncView(s *Store) *SyncView { return &SyncView{s: s} }
+
+// Store returns the underlying store.
+func (v *SyncView) Store() *Store { return v.s }
+
+// TakeCost returns the accumulated modeled latency and resets it.
+func (v *SyncView) TakeCost() sim.Duration {
+	c := v.cost
+	v.cost = 0
+	return c
+}
+
+// PeekCost returns the accumulated cost without resetting.
+func (v *SyncView) PeekCost() sim.Duration { return v.cost }
+
+// Charge adds extra modeled latency (compute time, network hops).
+func (v *SyncView) Charge(d sim.Duration) { v.cost += d }
+
+// Alloc mirrors Store.Alloc (allocation is a table operation and charges
+// one DRAM access).
+func (v *SyncView) Alloc(id ObjectID, size int64, durable bool, hint Hint) (*Segment, error) {
+	v.cost += v.s.cfg.DRAMLatency
+	return v.s.Alloc(id, size, durable, hint)
+}
+
+// Free mirrors Store.Free.
+func (v *SyncView) Free(id ObjectID) error {
+	v.cost += v.s.cfg.DRAMLatency
+	return v.s.Free(id)
+}
+
+// Stat looks up a segment entry, charging translation cost.
+func (v *SyncView) Stat(id ObjectID) (*Segment, error) {
+	sg, tc, err := v.s.Lookup(id)
+	v.cost += tc
+	return sg, err
+}
+
+// ReadAt copies length bytes at off from the object.
+func (v *SyncView) ReadAt(id ObjectID, off, length int64) ([]byte, error) {
+	sg, tc, err := v.s.Lookup(id)
+	v.cost += tc
+	if err != nil {
+		return nil, err
+	}
+	if off < 0 || length < 0 || off+length > sg.Size {
+		return nil, fmt.Errorf("%w: [%d,%d) of %d", ErrBounds, off, off+length, sg.Size)
+	}
+	v.Reads++
+	v.BytesRead += length
+	if sg.Loc == LocDRAM {
+		v.cost += v.s.dramTime(length)
+		out := make([]byte, length)
+		copy(out, v.s.dram[sg.Addr+off:sg.Addr+off+length])
+		return out, nil
+	}
+	dev, lba := v.s.split(sg.Addr)
+	bs := int64(v.s.cfg.BlockSize)
+	first := lba + off/bs
+	nblocks := int((off+length+bs-1)/bs - off/bs)
+	if nblocks < 1 {
+		nblocks = 1
+	}
+	skip := off % bs
+	d := v.s.devs[dev].Device()
+	v.cost += d.AccessCost(nvme.OpRead, nblocks)
+	v.DevReads++
+	data := d.ReadSync(first, nblocks)
+	return data[skip : skip+length], nil
+}
+
+// WriteAt stores data at off in the object (read-modify-write for
+// unaligned NVMe edges, with the extra read charged).
+func (v *SyncView) WriteAt(id ObjectID, off int64, data []byte) error {
+	sg, tc, err := v.s.Lookup(id)
+	v.cost += tc
+	if err != nil {
+		return err
+	}
+	length := int64(len(data))
+	if off < 0 || off+length > sg.Size {
+		return fmt.Errorf("%w: [%d,%d) of %d", ErrBounds, off, off+length, sg.Size)
+	}
+	v.Writes++
+	v.BytesWritten += length
+	if sg.Loc == LocDRAM {
+		v.cost += v.s.dramTime(length)
+		copy(v.s.dram[sg.Addr+off:], data)
+		return nil
+	}
+	dev, lba := v.s.split(sg.Addr)
+	bs := int64(v.s.cfg.BlockSize)
+	first := lba + off/bs
+	nblocks := int((off+length+bs-1)/bs - off/bs)
+	if nblocks < 1 {
+		nblocks = 1
+	}
+	skip := off % bs
+	d := v.s.devs[dev].Device()
+	if skip == 0 && length%bs == 0 {
+		v.cost += d.AccessCost(nvme.OpWrite, nblocks)
+		v.DevWrites++
+		d.WriteSync(first, data)
+		return nil
+	}
+	// RMW: read covering blocks, merge, write back.
+	v.cost += d.AccessCost(nvme.OpRead, nblocks) + d.AccessCost(nvme.OpWrite, nblocks)
+	v.DevReads++
+	v.DevWrites++
+	old := d.ReadSync(first, nblocks)
+	copy(old[skip:], data)
+	d.WriteSync(first, old)
+	return nil
+}
+
+// Complete schedules cb after the accumulated cost, resetting it. This
+// is the bridge back into simulated time for request handlers.
+func (v *SyncView) Complete(eng *sim.Engine, name string, cb func()) {
+	d := v.TakeCost()
+	eng.After(d, name, cb)
+}

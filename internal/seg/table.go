@@ -1,0 +1,156 @@
+package seg
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"hyperion/internal/nvme"
+)
+
+// Segment-table checkpointing. The table serializes into the reserved
+// control area at LBA 0 of device 0 with a checksummed header, so the
+// store survives power loss: durable segments are recovered exactly;
+// DRAM segments are dropped (their contents were ephemeral by contract).
+
+const tableMagic = 0x48595054 // "HYPT"
+
+// entryBytes is the on-disk size of one table entry:
+// id(16) size(8) addr(8) flags(1) pad(7).
+const entryBytes = 40
+
+// Checkpoint persists the current table to the control area. cb (may be
+// nil) fires when the write is durable.
+func (s *Store) Checkpoint(cb func(error)) {
+	s.dirty = 0
+	durable := make([]*Segment, 0, len(s.table))
+	for _, sg := range s.table {
+		if sg.Loc == LocNVMe {
+			durable = append(durable, sg)
+		}
+	}
+	// Deterministic order for reproducible images.
+	sortSegments(durable)
+
+	need := 16 + len(durable)*entryBytes
+	bs := s.cfg.BlockSize
+	maxBytes := int(s.cfg.TableBlocks) * bs
+	if need > maxBytes {
+		s.failW(cb, 0, fmt.Errorf("%w: table needs %d bytes, control area holds %d", ErrNoSpace, need, maxBytes))
+		return
+	}
+	buf := make([]byte, (need+bs-1)/bs*bs)
+	binary.LittleEndian.PutUint32(buf[0:], tableMagic)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(len(durable)))
+	off := 16
+	for _, sg := range durable {
+		sg.ID.EncodeTo(buf[off:])
+		binary.LittleEndian.PutUint64(buf[off+16:], uint64(sg.Size))
+		binary.LittleEndian.PutUint64(buf[off+24:], uint64(sg.Addr))
+		var flags byte
+		if sg.Durable {
+			flags |= 1
+		}
+		buf[off+32] = flags
+		off += entryBytes
+	}
+	crc := crc32.ChecksumIEEE(buf[16:])
+	binary.LittleEndian.PutUint32(buf[8:], crc)
+	s.Counters.Get("checkpoints").Add(1)
+	s.devWrite(0, 0, buf, func(err error) {
+		if err != nil {
+			if cb != nil {
+				cb(err)
+			}
+			return
+		}
+		ferr := s.devs[0].Flush(0, func(st uint16) {
+			if cb == nil {
+				return
+			}
+			if st != nvme.StatusOK {
+				cb(fmt.Errorf("seg: checkpoint flush status %#x", st))
+				return
+			}
+			cb(nil)
+		})
+		if ferr != nil && cb != nil {
+			cb(ferr)
+		}
+	})
+}
+
+func sortSegments(ss []*Segment) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j].ID.Less(ss[j-1].ID); j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}
+
+// Recover rebuilds a store's table from the control area of device 0.
+// It must be called on a freshly-constructed store. NVMe allocators are
+// replayed so subsequent allocations do not collide with recovered
+// segments.
+func (s *Store) Recover(cb func(n int, err error)) {
+	bs := s.cfg.BlockSize
+	s.devRead(0, 0, int(s.cfg.TableBlocks), func(buf []byte, st uint16) {
+		if st != nvme.StatusOK {
+			cb(0, fmt.Errorf("seg: recover read status %#x", st))
+			return
+		}
+		if binary.LittleEndian.Uint32(buf[0:]) != tableMagic {
+			cb(0, fmt.Errorf("%w: bad magic", ErrBadTable))
+			return
+		}
+		n := int(binary.LittleEndian.Uint32(buf[4:]))
+		want := binary.LittleEndian.Uint32(buf[8:])
+		need := 16 + n*entryBytes
+		if need > len(buf) {
+			cb(0, fmt.Errorf("%w: truncated table", ErrBadTable))
+			return
+		}
+		// Checksum covers the full padded region as written.
+		padded := (need + bs - 1) / bs * bs
+		if crc32.ChecksumIEEE(buf[16:padded]) != want {
+			cb(0, fmt.Errorf("%w: checksum mismatch", ErrBadTable))
+			return
+		}
+		off := 16
+		for i := 0; i < n; i++ {
+			sg := &Segment{
+				ID:      DecodeID(buf[off:]),
+				Size:    int64(binary.LittleEndian.Uint64(buf[off+16:])),
+				Addr:    int64(binary.LittleEndian.Uint64(buf[off+24:])),
+				Loc:     LocNVMe,
+				Durable: buf[off+32]&1 != 0,
+			}
+			s.table[sg.ID] = sg
+			dev, lba := s.split(sg.Addr)
+			blocks := (sg.Size + int64(bs) - 1) / int64(bs)
+			s.nvmeAl[dev].claim(lba, blocks)
+			off += entryBytes
+		}
+		cb(n, nil)
+	})
+}
+
+// claim removes [addr, addr+n) from the free list during recovery.
+func (a *allocator) claim(addr, n int64) {
+	addr -= a.base
+	for i := range a.holes {
+		h := a.holes[i]
+		if addr >= h.addr && addr+n <= h.addr+h.size {
+			// Split the hole around the claimed range.
+			var repl []hole
+			if addr > h.addr {
+				repl = append(repl, hole{h.addr, addr - h.addr})
+			}
+			if addr+n < h.addr+h.size {
+				repl = append(repl, hole{addr + n, h.addr + h.size - addr - n})
+			}
+			a.holes = append(a.holes[:i], append(repl, a.holes[i+1:]...)...)
+			return
+		}
+	}
+}

@@ -1,0 +1,242 @@
+// Package sim provides the discrete-event simulation kernel that underpins
+// every hardware model in Hyperion: the virtual clock, the event queue, and
+// deterministic pseudo-randomness.
+//
+// All device models (fabric, PCIe, NVMe, network) are state machines that
+// schedule work on a shared *Engine. Virtual time is measured in
+// picoseconds so that a 250 MHz fabric clock (4 ns) and a 100 Gbps link
+// (80 ps per byte) can both be expressed exactly as integers.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a point in virtual time, in picoseconds since simulation start.
+type Time int64
+
+// Duration is a span of virtual time in picoseconds.
+type Duration int64
+
+// Common durations.
+const (
+	Picosecond  Duration = 1
+	Nanosecond           = 1000 * Picosecond
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Forever is a time later than any event the engine will ever reach.
+const Forever Time = math.MaxInt64
+
+func (t Time) String() string     { return fmtDur(int64(t)) }
+func (d Duration) String() string { return fmtDur(int64(d)) }
+
+func fmtDur(ps int64) string {
+	switch {
+	case ps >= int64(Second):
+		return fmt.Sprintf("%.3fs", float64(ps)/float64(Second))
+	case ps >= int64(Millisecond):
+		return fmt.Sprintf("%.3fms", float64(ps)/float64(Millisecond))
+	case ps >= int64(Microsecond):
+		return fmt.Sprintf("%.3fus", float64(ps)/float64(Microsecond))
+	case ps >= int64(Nanosecond):
+		return fmt.Sprintf("%.3fns", float64(ps)/float64(Nanosecond))
+	default:
+		return fmt.Sprintf("%dps", ps)
+	}
+}
+
+// Add returns t shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between two times.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds converts d to floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// FromStd converts a time.Duration to a sim.Duration.
+func FromStd(d time.Duration) Duration { return Duration(d.Nanoseconds()) * Nanosecond }
+
+// Event is a scheduled callback.
+type Event struct {
+	At   Time
+	Do   func()
+	Name string // for tracing; may be empty
+
+	seq   uint64 // tie-breaker: FIFO among equal-time events
+	index int    // heap index; -1 when not queued
+	dead  bool   // cancelled
+}
+
+// eventQueue is a min-heap ordered by (At, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].At != q[j].At {
+		return q[i].At < q[j].At
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is the discrete-event simulator. It is not safe for concurrent
+// use: device models run single-threaded inside the event loop, which is
+// what makes simulations deterministic.
+type Engine struct {
+	now    Time
+	queue  eventQueue
+	seq    uint64
+	nsteps uint64
+	rng    *Rand
+	trace  func(Time, string)
+}
+
+// NewEngine returns an engine at time zero with the given random seed.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{rng: NewRand(seed)}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *Rand { return e.rng }
+
+// Steps returns the number of events executed so far.
+func (e *Engine) Steps() uint64 { return e.nsteps }
+
+// SetTrace installs a tracing hook called for every named event executed.
+func (e *Engine) SetTrace(fn func(Time, string)) { e.trace = fn }
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// (before Now) panics: it would break causality.
+func (e *Engine) At(t Time, name string, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event %q at %v before now %v", name, t, e.now))
+	}
+	ev := &Event{At: t, Do: fn, Name: name, seq: e.seq}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d Duration, name string, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v for event %q", d, name))
+	}
+	return e.At(e.now.Add(d), name, fn)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.dead || ev.index < 0 {
+		if ev != nil {
+			ev.dead = true
+		}
+		return
+	}
+	ev.dead = true
+	heap.Remove(&e.queue, ev.index)
+}
+
+// Step executes the single next event. It returns false when the queue is
+// empty.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.At
+		e.nsteps++
+		if e.trace != nil && ev.Name != "" {
+			e.trace(e.now, ev.Name)
+		}
+		ev.Do()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with At <= deadline, then advances the clock to
+// the deadline (if the queue emptied earlier or the next event is later).
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.queue) > 0 {
+		next := e.peek()
+		if next == nil {
+			break
+		}
+		if next.At > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// RunFor executes events within the next d of virtual time.
+func (e *Engine) RunFor(d Duration) { e.RunUntil(e.now.Add(d)) }
+
+// RunWhile executes events until cond returns false or the queue empties.
+// cond is checked before each event.
+func (e *Engine) RunWhile(cond func() bool) {
+	for cond() && e.Step() {
+	}
+}
+
+func (e *Engine) peek() *Event {
+	for len(e.queue) > 0 {
+		if e.queue[0].dead {
+			heap.Pop(&e.queue)
+			continue
+		}
+		return e.queue[0]
+	}
+	return nil
+}
+
+// Pending reports the number of live queued events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.queue {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}

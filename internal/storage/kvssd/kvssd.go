@@ -1,0 +1,365 @@
+// Package kvssd exports the network-attached SSD abstraction the paper
+// draws in Figure 2 as "KV-SSD": a byte-string key-value interface
+// served directly by the DPU, with an index (B+ tree or LSM tree —
+// the backend pair the KV experiments ablate) mapping key hashes to
+// records in an append-only value log of segment objects.
+package kvssd
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"hyperion/internal/seg"
+	"hyperion/internal/storage/bptree"
+	"hyperion/internal/storage/lsm"
+)
+
+// Index abstracts the two backends.
+type Index interface {
+	Get(key uint64) (uint64, bool, error)
+	Put(key, val uint64) error
+}
+
+// treeIndex adapts bptree.Tree.
+type treeIndex struct{ t *bptree.Tree }
+
+func (x treeIndex) Get(k uint64) (uint64, bool, error) { return x.t.Get(k) }
+func (x treeIndex) Put(k, v uint64) error              { return x.t.Insert(k, v) }
+
+// lsmIndex adapts lsm.Tree.
+type lsmIndex struct{ t *lsm.Tree }
+
+func (x lsmIndex) Get(k uint64) (uint64, bool, error) { return x.t.Get(k) }
+func (x lsmIndex) Put(k, v uint64) error              { return x.t.Put(k, v) }
+
+// Backend selects the index structure.
+type Backend int
+
+const (
+	BackendBTree Backend = iota
+	BackendLSM
+)
+
+func (b Backend) String() string {
+	if b == BackendBTree {
+		return "btree"
+	}
+	return "lsm"
+}
+
+// Log chunk geometry: 16-bit chunk index, offset within chunk, and
+// record length packed into the index's uint64 value.
+const (
+	chunkBytes  = 1 << 20
+	deletedSlot = ^uint64(0) // probe-chain preserving tombstone
+	maxProbes   = 64
+)
+
+// Errors.
+var (
+	ErrKeyTooLarge = errors.New("kvssd: key too large")
+	ErrValTooLarge = errors.New("kvssd: value too large")
+	ErrFull        = errors.New("kvssd: probe chain exhausted")
+	ErrCorrupt     = errors.New("kvssd: corrupt record")
+)
+
+const (
+	maxKeyLen = 1 << 10
+	maxValLen = 1 << 18
+)
+
+// KV is a key-value store instance.
+type KV struct {
+	v       *seg.SyncView
+	idx     Index
+	backend Backend
+	meta    seg.ObjectID
+	durable bool
+
+	chunks  []seg.ObjectID
+	tailOff int64
+	nextLo  uint64
+
+	Puts, Gets, Deletes, Collisions int64
+}
+
+const metaMagic = 0x4b565331 // "KVS1"
+
+// Create initializes a store. The meta object, index objects, and log
+// chunks all share metaID.Hi as their id prefix.
+func Create(v *seg.SyncView, metaID seg.ObjectID, backend Backend, durable bool) (*KV, error) {
+	kv := &KV{v: v, backend: backend, meta: metaID, durable: durable, nextLo: metaID.Lo + 1}
+	if _, err := v.Alloc(metaID, 4096, durable, seg.HintAuto); err != nil {
+		return nil, err
+	}
+	idxMeta := seg.ObjectID{Hi: metaID.Hi, Lo: kv.nextLo}
+	kv.nextLo += 1 << 32 // generous id space for index nodes
+	var err error
+	switch backend {
+	case BackendBTree:
+		var t *bptree.Tree
+		t, err = bptree.Create(v, idxMeta, durable)
+		kv.idx = treeIndex{t}
+	case BackendLSM:
+		var t *lsm.Tree
+		t, err = lsm.Create(v, idxMeta, durable, 0)
+		kv.idx = lsmIndex{t}
+	default:
+		return nil, fmt.Errorf("kvssd: unknown backend %d", backend)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := kv.addChunk(); err != nil {
+		return nil, err
+	}
+	return kv, kv.writeMeta()
+}
+
+// Open reopens an existing store.
+func Open(v *seg.SyncView, metaID seg.ObjectID) (*KV, error) {
+	kv := &KV{v: v, meta: metaID}
+	buf, err := v.ReadAt(metaID, 0, 4096)
+	if err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(buf) != metaMagic {
+		return nil, fmt.Errorf("%w: bad meta magic", ErrCorrupt)
+	}
+	kv.backend = Backend(buf[4])
+	kv.durable = buf[5] == 1
+	kv.nextLo = binary.LittleEndian.Uint64(buf[8:])
+	kv.tailOff = int64(binary.LittleEndian.Uint64(buf[16:]))
+	n := int(binary.LittleEndian.Uint32(buf[24:]))
+	off := 32
+	for i := 0; i < n; i++ {
+		kv.chunks = append(kv.chunks, seg.ObjectID{
+			Hi: binary.LittleEndian.Uint64(buf[off:]),
+			Lo: binary.LittleEndian.Uint64(buf[off+8:]),
+		})
+		off += 16
+	}
+	idxMeta := seg.ObjectID{Hi: metaID.Hi, Lo: metaID.Lo + 1}
+	switch kv.backend {
+	case BackendBTree:
+		t, err := bptree.Open(v, idxMeta)
+		if err != nil {
+			return nil, err
+		}
+		kv.idx = treeIndex{t}
+	case BackendLSM:
+		t, err := lsm.Open(v, idxMeta)
+		if err != nil {
+			return nil, err
+		}
+		kv.idx = lsmIndex{t}
+	}
+	return kv, nil
+}
+
+func (kv *KV) writeMeta() error {
+	buf := make([]byte, 4096)
+	binary.LittleEndian.PutUint32(buf, metaMagic)
+	buf[4] = byte(kv.backend)
+	if kv.durable {
+		buf[5] = 1
+	}
+	binary.LittleEndian.PutUint64(buf[8:], kv.nextLo)
+	binary.LittleEndian.PutUint64(buf[16:], uint64(kv.tailOff))
+	binary.LittleEndian.PutUint32(buf[24:], uint32(len(kv.chunks)))
+	off := 32
+	for _, c := range kv.chunks {
+		binary.LittleEndian.PutUint64(buf[off:], c.Hi)
+		binary.LittleEndian.PutUint64(buf[off+8:], c.Lo)
+		off += 16
+		if off > len(buf)-16 {
+			return fmt.Errorf("kvssd: too many log chunks for meta object")
+		}
+	}
+	return kv.v.WriteAt(kv.meta, 0, buf)
+}
+
+func (kv *KV) addChunk() error {
+	id := seg.ObjectID{Hi: kv.meta.Hi, Lo: kv.nextLo}
+	kv.nextLo++
+	if _, err := kv.v.Alloc(id, chunkBytes, kv.durable, seg.HintAuto); err != nil {
+		return err
+	}
+	kv.chunks = append(kv.chunks, id)
+	kv.tailOff = 0
+	return nil
+}
+
+// hash is FNV-1a over the key.
+func hash(key []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+func pack(chunk int, off int64, recLen int) uint64 {
+	return uint64(chunk)<<44 | uint64(off)<<20 | uint64(recLen)
+}
+
+func unpack(v uint64) (chunk int, off int64, recLen int) {
+	return int(v >> 44), int64(v>>20) & (1<<24 - 1), int(v & (1<<20 - 1))
+}
+
+// appendRecord writes [keyLen u16][valLen u32][key][val] to the log.
+func (kv *KV) appendRecord(key, val []byte) (uint64, error) {
+	recLen := 6 + len(key) + len(val)
+	if kv.tailOff+int64(recLen) > chunkBytes {
+		if err := kv.addChunk(); err != nil {
+			return 0, err
+		}
+	}
+	rec := make([]byte, recLen)
+	binary.LittleEndian.PutUint16(rec, uint16(len(key)))
+	binary.LittleEndian.PutUint32(rec[2:], uint32(len(val)))
+	copy(rec[6:], key)
+	copy(rec[6+len(key):], val)
+	chunk := len(kv.chunks) - 1
+	off := kv.tailOff
+	if err := kv.v.WriteAt(kv.chunks[chunk], off, rec); err != nil {
+		return 0, err
+	}
+	kv.tailOff += int64(recLen)
+	if err := kv.writeMeta(); err != nil {
+		return 0, err
+	}
+	return pack(chunk, off, recLen), nil
+}
+
+func (kv *KV) readRecord(ref uint64) (key, val []byte, err error) {
+	chunk, off, recLen := unpack(ref)
+	if chunk >= len(kv.chunks) {
+		return nil, nil, fmt.Errorf("%w: chunk %d", ErrCorrupt, chunk)
+	}
+	buf, err := kv.v.ReadAt(kv.chunks[chunk], off, int64(recLen))
+	if err != nil {
+		return nil, nil, err
+	}
+	kl := int(binary.LittleEndian.Uint16(buf))
+	vl := int(binary.LittleEndian.Uint32(buf[2:]))
+	if 6+kl+vl != recLen {
+		return nil, nil, fmt.Errorf("%w: lengths", ErrCorrupt)
+	}
+	return buf[6 : 6+kl], buf[6+kl : 6+kl+vl], nil
+}
+
+// Put inserts or replaces key → val.
+func (kv *KV) Put(key, val []byte) error {
+	if len(key) == 0 || len(key) > maxKeyLen {
+		return ErrKeyTooLarge
+	}
+	if len(val) > maxValLen {
+		return ErrValTooLarge
+	}
+	kv.Puts++
+	h := hash(key)
+	for i := uint64(0); i < maxProbes; i++ {
+		slot := h + i
+		ref, ok, err := kv.idx.Get(slot)
+		if err != nil {
+			return err
+		}
+		if ok && ref != deletedSlot {
+			k, _, err := kv.readRecord(ref)
+			if err != nil {
+				return err
+			}
+			if !bytes.Equal(k, key) {
+				kv.Collisions++
+				continue // occupied by a colliding key
+			}
+		}
+		// Empty, deleted, or same key: claim this slot.
+		newRef, err := kv.appendRecord(key, val)
+		if err != nil {
+			return err
+		}
+		return kv.idx.Put(slot, newRef)
+	}
+	return ErrFull
+}
+
+// Get returns the value for key.
+func (kv *KV) Get(key []byte) ([]byte, bool, error) {
+	kv.Gets++
+	h := hash(key)
+	for i := uint64(0); i < maxProbes; i++ {
+		slot := h + i
+		ref, ok, err := kv.idx.Get(slot)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			return nil, false, nil // end of probe chain
+		}
+		if ref == deletedSlot {
+			continue
+		}
+		k, v, err := kv.readRecord(ref)
+		if err != nil {
+			return nil, false, err
+		}
+		if bytes.Equal(k, key) {
+			return append([]byte(nil), v...), true, nil
+		}
+		kv.Collisions++
+	}
+	return nil, false, nil
+}
+
+// Delete removes key, reporting whether it was present. The index slot
+// keeps a marker so longer probe chains stay intact.
+func (kv *KV) Delete(key []byte) (bool, error) {
+	kv.Deletes++
+	h := hash(key)
+	for i := uint64(0); i < maxProbes; i++ {
+		slot := h + i
+		ref, ok, err := kv.idx.Get(slot)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+		if ref == deletedSlot {
+			continue
+		}
+		k, _, err := kv.readRecord(ref)
+		if err != nil {
+			return false, err
+		}
+		if bytes.Equal(k, key) {
+			return true, kv.idx.Put(slot, deletedSlot)
+		}
+	}
+	return false, nil
+}
+
+// Backend returns which index backs this store.
+func (kv *KV) Backend() Backend { return kv.backend }
+
+// LogBytes reports the total value-log footprint.
+func (kv *KV) LogBytes() int64 {
+	if len(kv.chunks) == 0 {
+		return 0
+	}
+	return int64(len(kv.chunks)-1)*chunkBytes + kv.tailOff
+}
+
+// FlushIndex persists buffered index state (LSM memtable). No-op for
+// the B+ tree backend.
+func (kv *KV) FlushIndex() error {
+	if x, ok := kv.idx.(lsmIndex); ok {
+		return x.t.Flush()
+	}
+	return nil
+}

@@ -1,0 +1,253 @@
+package transport
+
+import (
+	"hyperion/internal/netsim"
+	"hyperion/internal/sim"
+)
+
+// reliableParams differentiate the TCP-like software transport from the
+// RDMA-like hardware transport: window size, retransmission timeout, and
+// per-message/per-frame processing overheads.
+type reliableParams struct {
+	Window       int
+	RTO          sim.Duration
+	SendOverhead sim.Duration // per message, sender side
+	RecvOverhead sim.Duration // per message, receiver side
+	PerFrameCPU  sim.Duration // serialized per-frame software cost
+}
+
+// reliableEndpoint implements go-back-N reliable delivery with per-peer
+// connections and cumulative acks.
+type reliableEndpoint struct {
+	eng   *sim.Engine
+	nic   *netsim.NIC
+	kind  Kind
+	p     reliableParams
+	stats Stats
+
+	handler func(src netsim.Addr, msg Message)
+	conns   map[netsim.Addr]*sendConn
+	peers   map[netsim.Addr]*recvConn
+	cpuBusy sim.Time
+	nextID  uint64
+}
+
+type outFrag struct {
+	frag dataFrag
+	wire int
+}
+
+type sendConn struct {
+	dst      netsim.Addr
+	base     uint64 // lowest unacked seq
+	nextSeq  uint64 // next seq to assign
+	sent     uint64 // next seq to transmit (may trail nextSeq under window limit)
+	buf      map[uint64]outFrag
+	rtoTimer *sim.Event
+	backoff  int
+}
+
+type recvConn struct {
+	expected uint64
+	partial  map[uint64]*reasm
+}
+
+func newReliable(eng *sim.Engine, nic *netsim.NIC, kind Kind, p reliableParams) *reliableEndpoint {
+	r := &reliableEndpoint{
+		eng:   eng,
+		nic:   nic,
+		kind:  kind,
+		p:     p,
+		conns: make(map[netsim.Addr]*sendConn),
+		peers: make(map[netsim.Addr]*recvConn),
+	}
+	nic.OnReceive(r.onFrame)
+	return r
+}
+
+func (r *reliableEndpoint) Addr() netsim.Addr { return r.nic.Addr }
+func (r *reliableEndpoint) Kind() Kind        { return r.kind }
+func (r *reliableEndpoint) Stats() *Stats     { return &r.stats }
+
+func (r *reliableEndpoint) OnMessage(fn func(src netsim.Addr, msg Message)) { r.handler = fn }
+
+func (r *reliableEndpoint) conn(dst netsim.Addr) *sendConn {
+	c, ok := r.conns[dst]
+	if !ok {
+		c = &sendConn{dst: dst, buf: make(map[uint64]outFrag)}
+		r.conns[dst] = c
+	}
+	return c
+}
+
+func (r *reliableEndpoint) Send(dst netsim.Addr, msg Message) error {
+	if msg.Bytes > MaxMessageBytes {
+		return ErrTooLarge
+	}
+	r.nextID++
+	id := r.nextID
+	c := r.conn(dst)
+	n := fragsFor(msg.Bytes)
+	r.stats.Sent++
+	r.eng.After(r.p.SendOverhead, "rel.send", func() {
+		for i := 0; i < n; i++ {
+			frag := dataFrag{MsgID: id, Index: i, Total: n, Bytes: msg.Bytes, Seq: c.nextSeq}
+			if i == n-1 {
+				frag.Payload = msg.Payload
+			}
+			c.buf[c.nextSeq] = outFrag{frag: frag, wire: fragWire(msg.Bytes, i)}
+			c.nextSeq++
+		}
+		r.pump(c)
+	})
+	return nil
+}
+
+// cpuDelay serializes per-frame software cost on the endpoint's one
+// logical core; it returns the extra delay before the frame may be
+// handed to the NIC.
+func (r *reliableEndpoint) cpuDelay() sim.Duration {
+	if r.p.PerFrameCPU == 0 {
+		return 0
+	}
+	now := r.eng.Now()
+	start := r.cpuBusy
+	if start < now {
+		start = now
+	}
+	r.cpuBusy = start.Add(r.p.PerFrameCPU)
+	return r.cpuBusy.Sub(now)
+}
+
+// pump transmits frames permitted by the window.
+func (r *reliableEndpoint) pump(c *sendConn) {
+	for c.sent < c.nextSeq && c.sent < c.base+uint64(r.p.Window) {
+		of, ok := c.buf[c.sent]
+		if !ok {
+			c.sent++
+			continue
+		}
+		r.transmit(c, of)
+		c.sent++
+	}
+	if c.rtoTimer == nil && c.base < c.nextSeq {
+		r.armRTO(c)
+	}
+}
+
+func (r *reliableEndpoint) transmit(c *sendConn, of outFrag) {
+	d := r.cpuDelay()
+	send := func() {
+		_ = r.nic.Send(netsim.Frame{Dst: c.dst, Payload: of.frag, Bytes: of.wire})
+		r.stats.DataFrames++
+	}
+	if d > 0 {
+		r.eng.After(d, "rel.tx", send)
+	} else {
+		send()
+	}
+}
+
+func (r *reliableEndpoint) armRTO(c *sendConn) {
+	rto := r.p.RTO << uint(c.backoff)
+	c.rtoTimer = r.eng.After(rto, "rel.rto", func() {
+		c.rtoTimer = nil
+		if c.base >= c.nextSeq {
+			return
+		}
+		// Go-back-N: retransmit the whole window from base.
+		if c.backoff < 6 {
+			c.backoff++
+		}
+		end := c.base + uint64(r.p.Window)
+		if end > c.nextSeq {
+			end = c.nextSeq
+		}
+		for s := c.base; s < end; s++ {
+			if of, ok := c.buf[s]; ok {
+				r.transmit(c, of)
+				r.stats.Retransmits++
+			}
+		}
+		c.sent = end
+		r.armRTO(c)
+	})
+}
+
+func (r *reliableEndpoint) onFrame(f netsim.Frame) {
+	switch pl := f.Payload.(type) {
+	case ctrlMsg:
+		if pl.Op == ackOp {
+			r.onAck(f.Src, pl.Seq)
+		}
+	case dataFrag:
+		r.onData(f.Src, pl)
+	}
+}
+
+func (r *reliableEndpoint) onAck(src netsim.Addr, cum uint64) {
+	c, ok := r.conns[src]
+	if !ok {
+		return
+	}
+	if cum <= c.base {
+		return
+	}
+	for s := c.base; s < cum; s++ {
+		delete(c.buf, s)
+	}
+	c.base = cum
+	c.backoff = 0
+	if c.rtoTimer != nil {
+		r.eng.Cancel(c.rtoTimer)
+		c.rtoTimer = nil
+	}
+	r.pump(c)
+}
+
+func (r *reliableEndpoint) peer(src netsim.Addr) *recvConn {
+	p, ok := r.peers[src]
+	if !ok {
+		p = &recvConn{partial: make(map[uint64]*reasm)}
+		r.peers[src] = p
+	}
+	return p
+}
+
+func (r *reliableEndpoint) onData(src netsim.Addr, frag dataFrag) {
+	p := r.peer(src)
+	if frag.Seq == p.expected {
+		p.expected++
+		r.accept(src, p, frag)
+	}
+	// Ack cumulatively whether in order or not (duplicate acks trigger
+	// nothing special in go-back-N; the sender relies on RTO).
+	r.sendCtrl(src, ctrlMsg{Op: ackOp, Seq: p.expected})
+}
+
+func (r *reliableEndpoint) accept(src netsim.Addr, p *recvConn, frag dataFrag) {
+	rm, ok := p.partial[frag.MsgID]
+	if !ok {
+		rm = &reasm{total: frag.Total, bytes: frag.Bytes}
+		p.partial[frag.MsgID] = rm
+	}
+	rm.have++
+	if frag.Payload != nil {
+		rm.payload = frag.Payload
+	}
+	if rm.have == rm.total {
+		delete(p.partial, frag.MsgID)
+		r.stats.Delivered++
+		payload, bytes := rm.payload, rm.bytes
+		r.eng.After(r.p.RecvOverhead, "rel.deliver", func() {
+			if r.handler != nil {
+				r.handler(src, Message{Payload: payload, Bytes: bytes})
+			}
+		})
+	}
+}
+
+func (r *reliableEndpoint) sendCtrl(dst netsim.Addr, m ctrlMsg) {
+	_ = r.nic.Send(netsim.Frame{Dst: dst, Payload: m, Bytes: headerBytes})
+	r.stats.CtrlFrames++
+}

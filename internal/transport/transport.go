@@ -1,0 +1,164 @@
+// Package transport implements the application-selectable network
+// transports of the Hyperion blueprint — UDP-, TCP-, RDMA-, and
+// Homa-style — over the simulated Ethernet fabric. The paper's point is
+// that the end-to-end hardware path can be specialized with an
+// application-defined transport; this package provides four with
+// distinct reliability, overhead, and congestion behaviour so the
+// NVMe-oF and RPC experiments can sweep them.
+package transport
+
+import (
+	"errors"
+	"fmt"
+
+	"hyperion/internal/netsim"
+	"hyperion/internal/sim"
+)
+
+// Kind selects a transport protocol.
+type Kind int
+
+const (
+	UDP  Kind = iota // unreliable datagrams, software stack overhead
+	TCP              // reliable go-back-N, small window, software overhead
+	RDMA             // reliable go-back-N, large window, hardware offload
+	Homa             // receiver-driven grants, SRPT, message-oriented
+)
+
+func (k Kind) String() string {
+	switch k {
+	case UDP:
+		return "udp"
+	case TCP:
+		return "tcp"
+	case RDMA:
+		return "rdma"
+	case Homa:
+		return "homa"
+	}
+	return "invalid"
+}
+
+// Kinds lists all transports, for sweeps.
+func Kinds() []Kind { return []Kind{UDP, TCP, RDMA, Homa} }
+
+// FragBytes is the data payload carried per frame (plus header overhead
+// on the wire).
+const FragBytes = 4096
+
+// headerBytes approximates L2–L4 headers per frame.
+const headerBytes = 64
+
+// Message is an application-level unit.
+type Message struct {
+	Payload any
+	Bytes   int
+}
+
+// Endpoint is a transport instance bound to one NIC.
+type Endpoint interface {
+	Addr() netsim.Addr
+	Kind() Kind
+	// Send transmits msg to dst. Reliable transports deliver it exactly
+	// once (or count it lost after giving up); UDP may silently drop.
+	Send(dst netsim.Addr, msg Message) error
+	// OnMessage installs the delivery handler.
+	OnMessage(func(src netsim.Addr, msg Message))
+	// Stats returns transport counters.
+	Stats() *Stats
+}
+
+// Stats counts transport activity.
+type Stats struct {
+	Sent, Delivered, LostMessages       int64
+	Retransmits, DataFrames, CtrlFrames int64
+}
+
+// ErrTooLarge is returned for messages beyond the transport's limit.
+var ErrTooLarge = errors.New("transport: message too large")
+
+// MaxMessageBytes bounds a single message (64 Mi is ample for the
+// experiments).
+const MaxMessageBytes = 64 << 20
+
+// New creates an endpoint of the given kind on nic.
+func New(eng *sim.Engine, kind Kind, nic *netsim.NIC) Endpoint {
+	switch kind {
+	case UDP:
+		return newUDP(eng, nic)
+	case TCP:
+		return newReliable(eng, nic, TCP, reliableParams{
+			Window:       64,
+			RTO:          200 * sim.Microsecond,
+			SendOverhead: 3 * sim.Microsecond,
+			RecvOverhead: 3 * sim.Microsecond,
+			PerFrameCPU:  500 * sim.Nanosecond,
+		})
+	case RDMA:
+		return newReliable(eng, nic, RDMA, reliableParams{
+			Window:       256,
+			RTO:          50 * sim.Microsecond,
+			SendOverhead: 300 * sim.Nanosecond,
+			RecvOverhead: 300 * sim.Nanosecond,
+			PerFrameCPU:  0,
+		})
+	case Homa:
+		return newHoma(eng, nic)
+	default:
+		panic(fmt.Sprintf("transport: unknown kind %d", kind))
+	}
+}
+
+// fragsFor returns the number of fragments for a message of b bytes.
+func fragsFor(b int) int {
+	if b <= 0 {
+		return 1
+	}
+	return (b + FragBytes - 1) / FragBytes
+}
+
+// fragWire returns the wire size of fragment i of a b-byte message.
+func fragWire(b, i int) int {
+	n := fragsFor(b)
+	last := b - (n-1)*FragBytes
+	if b <= 0 {
+		last = 1
+	}
+	if i == n-1 {
+		return last + headerBytes
+	}
+	return FragBytes + headerBytes
+}
+
+// reasm reassembles in-order fragments into messages.
+type reasm struct {
+	have    int
+	total   int
+	payload any
+	bytes   int
+}
+
+// dataFrag is the payload of a data frame.
+type dataFrag struct {
+	MsgID   uint64
+	Index   int
+	Total   int
+	Bytes   int    // total message bytes
+	Payload any    // carried on the last fragment only
+	Seq     uint64 // connection sequence number (reliable transports)
+}
+
+// ctrlMsg is the payload of a control frame.
+type ctrlMsg struct {
+	Op      uint8 // ackOp, grantOp, doneOp, resendOp
+	MsgID   uint64
+	Seq     uint64 // cumulative ack (reliable) or granted frag count (homa)
+	Missing []int  // explicit missing fragment indexes (homa resend)
+}
+
+const (
+	ackOp uint8 = iota + 1
+	grantOp
+	doneOp
+	resendOp
+)

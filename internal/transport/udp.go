@@ -1,0 +1,101 @@
+package transport
+
+import (
+	"fmt"
+
+	"hyperion/internal/netsim"
+	"hyperion/internal/sim"
+)
+
+// udpEndpoint is fire-and-forget: fragments go straight to the NIC; a
+// message whose fragments all arrive is delivered, anything else is
+// garbage-collected after a timeout and counted lost.
+type udpEndpoint struct {
+	eng   *sim.Engine
+	nic   *netsim.NIC
+	stats Stats
+
+	sendOverhead sim.Duration
+	recvOverhead sim.Duration
+	reasmTimeout sim.Duration
+
+	nextID  uint64
+	handler func(src netsim.Addr, msg Message)
+	partial map[string]*reasm
+}
+
+func newUDP(eng *sim.Engine, nic *netsim.NIC) *udpEndpoint {
+	u := &udpEndpoint{
+		eng:          eng,
+		nic:          nic,
+		sendOverhead: sim.Microsecond,
+		recvOverhead: sim.Microsecond,
+		reasmTimeout: 10 * sim.Millisecond,
+		partial:      make(map[string]*reasm),
+	}
+	nic.OnReceive(u.onFrame)
+	return u
+}
+
+func (u *udpEndpoint) Addr() netsim.Addr { return u.nic.Addr }
+func (u *udpEndpoint) Kind() Kind        { return UDP }
+func (u *udpEndpoint) Stats() *Stats     { return &u.stats }
+
+func (u *udpEndpoint) OnMessage(fn func(src netsim.Addr, msg Message)) { u.handler = fn }
+
+func (u *udpEndpoint) Send(dst netsim.Addr, msg Message) error {
+	if msg.Bytes > MaxMessageBytes {
+		return ErrTooLarge
+	}
+	u.nextID++
+	id := u.nextID
+	n := fragsFor(msg.Bytes)
+	u.stats.Sent++
+	u.eng.After(u.sendOverhead, "udp.send", func() {
+		for i := 0; i < n; i++ {
+			frag := dataFrag{MsgID: id, Index: i, Total: n, Bytes: msg.Bytes}
+			if i == n-1 {
+				frag.Payload = msg.Payload
+			}
+			// Send errors mean the frame never left; UDP doesn't care.
+			_ = u.nic.Send(netsim.Frame{Dst: dst, Payload: frag, Bytes: fragWire(msg.Bytes, i)})
+			u.stats.DataFrames++
+		}
+	})
+	return nil
+}
+
+func (u *udpEndpoint) onFrame(f netsim.Frame) {
+	frag, ok := f.Payload.(dataFrag)
+	if !ok {
+		return
+	}
+	key := fmt.Sprintf("%s/%d", f.Src, frag.MsgID)
+	r, ok := u.partial[key]
+	if !ok {
+		r = &reasm{total: frag.Total, bytes: frag.Bytes}
+		u.partial[key] = r
+		// Garbage-collect incomplete messages: that is UDP loss.
+		u.eng.After(u.reasmTimeout, "udp.gc", func() {
+			if rr, still := u.partial[key]; still && rr.have < rr.total {
+				delete(u.partial, key)
+				u.stats.LostMessages++
+			}
+		})
+	}
+	r.have++
+	if frag.Payload != nil {
+		r.payload = frag.Payload
+	}
+	if r.have == r.total {
+		delete(u.partial, key)
+		u.stats.Delivered++
+		src := f.Src
+		payload, bytes := r.payload, r.bytes
+		u.eng.After(u.recvOverhead, "udp.deliver", func() {
+			if u.handler != nil {
+				u.handler(src, Message{Payload: payload, Bytes: bytes})
+			}
+		})
+	}
+}

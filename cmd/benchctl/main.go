@@ -3,34 +3,62 @@
 //
 // Usage:
 //
-//	benchctl list          # show available experiments
-//	benchctl all           # run everything (EXPERIMENTS.md content)
-//	benchctl table1        # run one, by name or id (E1..E14)
+//	benchctl list                    # show available experiments
+//	benchctl all                     # run everything (EXPERIMENTS.md content)
+//	benchctl -parallel 4 all         # fan experiments out over 4 goroutines
+//	benchctl -json out.json all      # also write machine-readable results
+//	benchctl table1                  # run one, by name or id (E1..E14)
+//
+// Parallel runs are deterministic: every experiment owns a private
+// sim.Engine, so -parallel changes wall time only, never the tables.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"hyperion/internal/bench"
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	parallel := flag.Int("parallel", 1, "run 'all' across N goroutines, capped at GOMAXPROCS (each experiment keeps its own engine)")
+	jsonPath := flag.String("json", "", "with 'all': write machine-readable per-experiment results to this file")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 1 {
 		usage()
 		os.Exit(2)
 	}
-	switch os.Args[1] {
+	switch args[0] {
 	case "list":
 		for _, e := range bench.All() {
 			fmt.Printf("  %-4s %s\n", e.ID, e.Name)
 		}
 	case "all":
-		for _, e := range bench.All() {
-			fmt.Println(e.Run().String())
+		workers := *parallel
+		if max := runtime.GOMAXPROCS(0); workers > max {
+			// More workers than cores cannot overlap any compute and only
+			// add GC contention; cap silently.
+			workers = max
+		}
+		start := time.Now()
+		outs := bench.RunAll(workers)
+		wall := time.Since(start)
+		for _, o := range outs {
+			fmt.Println(o.Result.String())
+		}
+		if *jsonPath != "" {
+			if err := bench.WriteJSON(*jsonPath, workers, wall, outs); err != nil {
+				fmt.Fprintf(os.Stderr, "benchctl: writing %s: %v\n", *jsonPath, err)
+				os.Exit(1)
+			}
 		}
 	default:
-		for _, name := range os.Args[1:] {
+		for _, name := range args {
 			e, ok := bench.ByName(name)
 			if !ok {
 				fmt.Fprintf(os.Stderr, "benchctl: unknown experiment %q (try 'benchctl list')\n", name)
@@ -42,5 +70,5 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: benchctl list | all | <experiment>...")
+	fmt.Fprintln(os.Stderr, "usage: benchctl [-parallel N] [-json path] list | all | <experiment>...")
 }

@@ -30,6 +30,11 @@ type Balancer struct {
 	hot     map[uint64]uint32
 	hotCap  int
 	hotCost sim.Duration // per hot-table access
+	// victims orders candidate evictions by key so a full hot table
+	// yields its smallest resident key in O(log n) instead of a full
+	// map scan per insert. Entries go stale when flows close or spill;
+	// insert discards those lazily.
+	victims keyHeap
 	// Spill store on NVMe.
 	spill *kvssd.KV
 
@@ -132,16 +137,16 @@ func (b *Balancer) Steer(p trace.Packet) (uint32, error) {
 // at capacity.
 func (b *Balancer) insert(k uint64, dst uint32) {
 	if len(b.hot) >= b.hotCap {
-		// Evict an arbitrary victim (hardware would use CLOCK; map
-		// iteration order is effectively random which is close enough —
-		// and deterministic per seed because Go map order is the only
-		// nondeterminism; pick the smallest key instead to stay fully
-		// reproducible).
+		// Evict the smallest resident key (hardware would use CLOCK;
+		// smallest-key keeps the choice fully reproducible). The victim
+		// heap holds every key ever inserted, so its minimum resident
+		// entry is exactly min(hot): pop and discard stale entries for
+		// keys that were closed or already evicted.
 		var victim uint64
-		first := true
-		for vk := range b.hot {
-			if first || vk < victim {
-				victim, first = vk, false
+		for {
+			victim = b.victims.pop()
+			if _, ok := b.hot[victim]; ok {
+				break
 			}
 		}
 		var val [4]byte
@@ -149,9 +154,57 @@ func (b *Balancer) insert(k uint64, dst uint32) {
 		if err := b.spill.Put(keyBytes(victim), val[:]); err == nil {
 			b.Spills++
 			delete(b.hot, victim)
+		} else {
+			b.victims.push(victim) // still resident; keep it evictable
 		}
 	}
 	b.hot[k] = dst
+	b.victims.push(k)
+}
+
+// keyHeap is a binary min-heap of flow keys. It may hold stale entries
+// (closed or already-evicted flows); because every hot key has at least
+// one entry, the smallest entry that is still resident equals the
+// smallest key in the hot table.
+type keyHeap []uint64
+
+func (h *keyHeap) push(k uint64) {
+	s := append(*h, k)
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s[p] <= s[i] {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
+	*h = s
+}
+
+func (h *keyHeap) pop() uint64 {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && s[c+1] < s[c] {
+			c++
+		}
+		if s[i] <= s[c] {
+			break
+		}
+		s[i], s[c] = s[c], s[i]
+		i = c
+	}
+	*h = s
+	return top
 }
 
 // HotLen returns the hot-table occupancy.

@@ -12,12 +12,28 @@ import (
 	"hyperion/internal/sim"
 )
 
-// Result is one experiment's rendered output.
+// Result is one experiment's rendered output. SimTime and Steps
+// summarize the simulation work behind it: the furthest virtual clock
+// and the total events executed across every Engine the experiment ran
+// (zero for purely analytic experiments like E1).
 type Result struct {
-	ID    string
-	Title string
-	Table sim.Table
-	Notes []string
+	ID      string
+	Title   string
+	Table   sim.Table
+	Notes   []string
+	SimTime sim.Time
+	Steps   uint64
+}
+
+// observe folds an engine's clock and step count into the result; an
+// experiment calls it once per Engine it drove, before returning.
+func (r *Result) observe(engines ...*sim.Engine) {
+	for _, e := range engines {
+		r.Steps += e.Steps()
+		if e.Now() > r.SimTime {
+			r.SimTime = e.Now()
+		}
+	}
 }
 
 // String renders the result.

@@ -96,6 +96,7 @@ func PointerChase() Result {
 		r.Table.AddRow(itoa(int64(keys)), itoa(int64(tree.Height())),
 			itoa(clsRTT), clsLat.String(), itoa(offRTT), offLat.String(),
 			f2(float64(clsLat)/float64(offLat)))
+		r.observe(eng)
 	}
 	r.Notes = append(r.Notes, "client-side pays height+1 round trips; the offloaded verified program pays one")
 	return r
@@ -137,6 +138,7 @@ func Fail2ban() Result {
 	r.Table.AddRow("1u host (16 cores)", itoa(pkts), "-", "-", f2(hostMpps), hostPerPkt.String())
 	r.Notes = append(r.Notes,
 		fmt.Sprintf("simulated trace time %v; ban log persisted to NVMe through the segment store", elapsed))
+	r.observe(eng)
 	return r
 }
 
@@ -147,7 +149,6 @@ func LoadBalancer() Result {
 	r.Table.Header = []string{"conns", "hot cap", "spills", "spill hits", "mean steer", "state kept"}
 	for _, conns := range []int{2000, 8000, 32000} {
 		eng, v := newView(4)
-		_ = eng
 		bal, err := lb.New(v, seg.OID(0x1b, 0), []lb.Backend{{Addr: 1}, {Addr: 2}, {Addr: 3}, {Addr: 4}}, 4000)
 		if err != nil {
 			panic(err)
@@ -176,6 +177,7 @@ func LoadBalancer() Result {
 		r.Table.AddRow(itoa(int64(conns)), "4000", itoa(bal.Spills), itoa(bal.SpillHits),
 			(total / sim.Duration(conns)).String(),
 			fmt.Sprintf("%d/%d", kept, conns))
+		r.observe(eng)
 	}
 	r.Notes = append(r.Notes, "Tiara punts overflow state to x86 servers; Hyperion keeps it on its own SSDs (zero lost flows)")
 	return r
@@ -193,7 +195,6 @@ func Corfu() Result {
 	for _, units := range []int{1, 2, 4, 8} {
 		for _, batch := range []int{1, 8} {
 			eng, v := newView(4)
-			_ = eng
 			log := buildLog(v, units)
 			// Entries are block-aligned (cell = 4 KiB) so unit writes
 			// go straight to the flash write cache without RMW, as a
@@ -217,6 +218,7 @@ func Corfu() Result {
 			}
 			r.Table.AddRow(itoa(int64(units)), itoa(int64(batch)), unitWrite.String(),
 				f1(seqRate/1000), f1(flashRate/1000), f1(agg/1000), bottleneck)
+			r.observe(eng)
 		}
 	}
 	r.Notes = append(r.Notes,

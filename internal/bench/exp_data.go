@@ -23,7 +23,7 @@ func ColumnarScan() Result {
 	r := Result{ID: "E12", Title: "§2.3 — file + columnar access without a CPU"}
 	r.Table.Header = []string{"approach", "device reads", "bytes moved", "modeled time", "rows matched"}
 
-	_, v := newView(4)
+	eng, v := newView(4)
 	// Build a filesystem with a columnar table inside it.
 	fs, err := hfs.Mkfs(v, seg.OID(0xF5, 0), true)
 	if err != nil {
@@ -101,6 +101,7 @@ func ColumnarScan() Result {
 		itoa(v.DevReads-reads1), itoa(v.BytesRead-bytes1), cpuTime.String(), itoa(int64(matched)))
 	r.Notes = append(r.Notes, fmt.Sprintf("speedup %.1fx; pushdown skipped %d of %d row groups",
 		float64(cpuTime)/float64(dpuTime), rd.GroupsSkipped, rd.Groups()))
+	r.observe(eng)
 	return r
 }
 
@@ -113,7 +114,7 @@ func KVStore() Result {
 	const ops = 4000
 	for _, mix := range []trace.YCSBMix{trace.YCSBA, trace.YCSBB, trace.YCSBC} {
 		for _, be := range []kvssd.Backend{kvssd.BackendBTree, kvssd.BackendLSM} {
-			_, v := newView(4)
+			eng, v := newView(4)
 			kv, err := kvssd.Create(v, seg.OID(0x4B, 0), be, true)
 			if err != nil {
 				panic(err)
@@ -144,6 +145,7 @@ func KVStore() Result {
 			r.Table.AddRow(mix.String(), be.String(), itoa(ops),
 				(total / ops).String(),
 				f2(float64(v.DevReads-r0)/ops), f2(float64(v.DevWrites-w0)/ops))
+			r.observe(eng)
 		}
 	}
 	r.Notes = append(r.Notes, "LSM buffers updates in the memtable (fewer device writes per op); the B+ tree reads fewer pages per get")
@@ -193,6 +195,7 @@ func NVMeoF() Result {
 		}
 		r.Table.AddRow(kind.String(), r4.String(), w4.String(), r64.String(),
 			sim.Duration(local).String(), tax)
+		r.observe(eng)
 	}
 	r.Notes = append(r.Notes, "remote flash ≈ local flash with fast transports (ReFlex); TCP pays software per-frame cost, Homa/RDMA do not")
 	return r

@@ -73,6 +73,7 @@ func ClusterScaleOut() Result {
 		r.Table.AddRow(itoa(int64(tc.nodes)), itoa(int64(tc.replicas)), itoa(ops),
 			(putTotal / ops).String(), (getTotal / ops).String(),
 			fmt.Sprintf("%d/%d", maxLoad, ops), failover)
+		r.observe(eng)
 	}
 	r.Notes = append(r.Notes,
 		"client-driven routing keeps the path coordinator-free; replication trades put latency for surviving a DPU loss")

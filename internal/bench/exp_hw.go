@@ -81,6 +81,7 @@ func Fig2() Result {
 			tr.Storage.String(), tr.Egress.String(), tr.Total.String())
 	}
 	r.Notes = append(r.Notes, "path: QSFP → DEMUX/AXIS arbiter → eHDL slot → NVMe host IP → PCIe x4 → flash → back")
+	r.observe(eng)
 	return r
 }
 
@@ -153,6 +154,7 @@ func Energy() Result {
 		fmt.Sprintf("volume ratio %.1fx (paper: 5-10x), TDP ratio %.1fx (paper: 4-8x), measured energy/op ratio %.1fx",
 			energy.VolumeRatio(hy, srv), energy.TDPRatio(hy, srv),
 			sm.JoulesPerOp(sEnd)/hm.JoulesPerOp(hEnd)))
+	r.observe(eng, eng2)
 	return r
 }
 
@@ -177,6 +179,7 @@ func Reconfig() Result {
 		r.Table.AddRow(bs.Name, itoa(mb), took.String())
 	}
 	r.Notes = append(r.Notes, "paper: coarse-grained spatial multiplexing at 10-100 ms timescales (4-40 MiB images)")
+	r.observe(eng)
 	return r
 }
 
@@ -246,6 +249,7 @@ func Predictability() Result {
 	row("hyperion slot (4 hostile co-tenants)", &fl)
 	row("time-shared cpu (background load)", &cl)
 	r.Notes = append(r.Notes, "spatial slots do not interfere: the fabric tenant's p99 equals its p50")
+	r.observe(eng, eng2)
 	return r
 }
 
@@ -310,6 +314,7 @@ func SegmentVsPage() Result {
 		r.Table.AddRow(itoa(int64(ws)), itoa(int64(ws*pagesPerObj)),
 			f2(float64(segCost)/accesses/float64(sim.Nanosecond)), f1(segHit),
 			f2(float64(pageCost)/accesses/float64(sim.Nanosecond)), f1(tlbHit), f2(ratio))
+		r.observe(eng)
 	}
 	r.Notes = append(r.Notes, "object-granular entries cover 512x the reach of a page entry, so the descriptor cache keeps hitting long after the TLB thrashes")
 	return r
@@ -395,5 +400,6 @@ func EBPFPipeline() Result {
 		slot++
 	}
 	r.Notes = append(r.Notes, "verifier suite: see internal/ebpf tests (20+ rejection categories, range tracking)")
+	r.observe(eng)
 	return r
 }

@@ -155,7 +155,7 @@ type Client struct {
 
 type pendingCall struct {
 	cb    func(val any, err error)
-	timer *sim.Event
+	timer sim.EventRef
 }
 
 // NewClient wraps a transport endpoint.
@@ -175,9 +175,7 @@ func (c *Client) onMessage(src netsim.Addr, msg transport.Message) {
 		return
 	}
 	delete(c.pending, resp.ID)
-	if pc.timer != nil {
-		c.eng.Cancel(pc.timer)
-	}
+	c.eng.Cancel(pc.timer)
 	if resp.Err != "" {
 		pc.cb(nil, fmt.Errorf("%w: %s", ErrRemote, resp.Err))
 		return

@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"testing"
+)
+
+// TestPendingLargeChurn is the regression test for the O(1) live-event
+// counter: Pending must stay exact through a 10k-event schedule/cancel
+// storm, including tombstoned entries still sitting in the heap.
+func TestPendingLargeChurn(t *testing.T) {
+	e := NewEngine(1)
+	const n = 10000
+	refs := make([]EventRef, 0, n)
+	for i := 0; i < n; i++ {
+		ref := e.At(Time(i+1)*Time(Microsecond), "churn", func() {})
+		refs = append(refs, ref)
+	}
+	if got := e.Pending(); got != n {
+		t.Fatalf("Pending after %d schedules = %d", n, got)
+	}
+	// Cancel every other event; half become heap tombstones.
+	for i := 0; i < n; i += 2 {
+		e.Cancel(refs[i])
+	}
+	if got := e.Pending(); got != n/2 {
+		t.Fatalf("Pending after cancelling half = %d, want %d", e.Pending(), n/2)
+	}
+	// Double-cancel is a no-op and must not disturb the counter.
+	for i := 0; i < n; i += 2 {
+		e.Cancel(refs[i])
+	}
+	if got := e.Pending(); got != n/2 {
+		t.Fatalf("Pending after double cancel = %d, want %d", got, n/2)
+	}
+	fired := 0
+	for e.Step() {
+		fired++
+	}
+	if fired != n/2 {
+		t.Fatalf("fired %d events, want %d", fired, n/2)
+	}
+	if got := e.Pending(); got != 0 {
+		t.Fatalf("Pending after drain = %d", got)
+	}
+}
+
+// TestEventRefStaleAfterFire: once an event has fired, its slot can be
+// recycled by a new event. Cancelling through the stale ref must be a
+// no-op — in particular it must NOT cancel the slot's new occupant.
+func TestEventRefStaleAfterFire(t *testing.T) {
+	e := NewEngine(1)
+	var aFired, bFired bool
+	refA := e.At(Time(Microsecond), "a", func() { aFired = true })
+	if !e.Step() {
+		t.Fatal("Step returned false with a pending event")
+	}
+	if !aFired {
+		t.Fatal("a did not fire")
+	}
+	// refA's slot is free now; b should reuse it.
+	refB := e.At(Time(2*Microsecond), "b", func() { bFired = true })
+	e.Cancel(refA) // stale: generation mismatch, must not touch b
+	if got := e.Pending(); got != 1 {
+		t.Fatalf("Pending = %d after stale cancel, want 1", got)
+	}
+	e.Run()
+	if !bFired {
+		t.Fatal("stale Cancel killed the slot's new occupant")
+	}
+	_ = refB
+}
+
+// TestEventRefStaleAfterCancel: the same protection holds when the slot
+// was released by Cancel rather than by firing.
+func TestEventRefStaleAfterCancel(t *testing.T) {
+	e := NewEngine(1)
+	ref1 := e.At(Time(Microsecond), "one", func() {})
+	e.Cancel(ref1)
+	ran := false
+	_ = e.At(Time(Microsecond), "two", func() { ran = true })
+	e.Cancel(ref1) // stale ref to a recycled slot
+	e.Run()
+	if !ran {
+		t.Fatal("stale Cancel suppressed the recycled slot's event")
+	}
+}
+
+// TestCancelLastScheduled exercises the O(1) tail-truncate fast path:
+// cancelling the most recently scheduled event removes it without
+// leaving a tombstone, and remaining events still fire in order.
+func TestCancelLastScheduled(t *testing.T) {
+	e := NewEngine(1)
+	var order []string
+	e.At(Time(Microsecond), "keep1", func() { order = append(order, "keep1") })
+	e.At(Time(3*Microsecond), "keep2", func() { order = append(order, "keep2") })
+	dead := e.At(Time(2*Microsecond), "dead", func() { order = append(order, "dead") })
+	e.Cancel(dead)
+	if got := e.Pending(); got != 2 {
+		t.Fatalf("Pending = %d, want 2", got)
+	}
+	e.Run()
+	if len(order) != 2 || order[0] != "keep1" || order[1] != "keep2" {
+		t.Fatalf("fired %v, want [keep1 keep2]", order)
+	}
+}
+
+// TestNoEventCancel: the zero EventRef is always safely ignorable.
+func TestNoEventCancel(t *testing.T) {
+	e := NewEngine(1)
+	e.Cancel(NoEvent)
+	e.Cancel(EventRef{})
+	if NoEvent.Valid() {
+		t.Fatal("NoEvent must not be Valid")
+	}
+	ref := e.At(Time(Microsecond), "x", func() {})
+	if !ref.Valid() {
+		t.Fatal("live ref must be Valid")
+	}
+}
+
+// TestSteadyStateZeroAlloc pins the free-list pool's guarantee: once
+// the engine has warmed up, a schedule→fire cycle allocates nothing.
+func TestSteadyStateZeroAlloc(t *testing.T) {
+	e := NewEngine(1)
+	// Warm the pool and heap slab.
+	for i := 0; i < 64; i++ {
+		e.At(e.Now()+Time(Microsecond), "warm", func() {})
+	}
+	e.Run()
+	do := func() {}
+	avg := testing.AllocsPerRun(1000, func() {
+		e.At(e.Now()+Time(Microsecond), "steady", do)
+		e.Step()
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state schedule+fire allocates %.2f/op, want 0", avg)
+	}
+}

@@ -9,7 +9,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
@@ -63,53 +62,32 @@ func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
 // FromStd converts a time.Duration to a sim.Duration.
 func FromStd(d time.Duration) Duration { return Duration(d.Nanoseconds()) * Nanosecond }
 
-// Event is a scheduled callback.
-type Event struct {
-	At   Time
-	Do   func()
-	Name string // for tracing; may be empty
-
-	seq   uint64 // tie-breaker: FIFO among equal-time events
-	index int    // heap index; -1 when not queued
-	dead  bool   // cancelled
+// EventRef is a generation-stamped handle to a scheduled event. The
+// zero EventRef refers to nothing; Cancel on it (or on a ref whose
+// event has already fired, been cancelled, or had its slot recycled) is
+// a safe no-op. Refs are values — copy and store them freely.
+type EventRef struct {
+	slot int32 // pool index + 1; 0 means "no event"
+	gen  uint32
 }
 
-// eventQueue is a min-heap ordered by (At, seq).
-type eventQueue []*Event
+// NoEvent is the zero EventRef, handy for resetting stored timers.
+var NoEvent EventRef
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].At != q[j].At {
-		return q[i].At < q[j].At
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
-}
+// Valid reports whether the ref was produced by At/After. It does not
+// know whether the event is still pending — Cancel checks that.
+func (r EventRef) Valid() bool { return r.slot != 0 }
 
 // Engine is the discrete-event simulator. It is not safe for concurrent
 // use: device models run single-threaded inside the event loop, which is
-// what makes simulations deterministic.
+// what makes simulations deterministic. (Separate Engines are fully
+// independent and may run on separate goroutines — the parallel
+// experiment harness relies on exactly that.)
 type Engine struct {
 	now    Time
-	queue  eventQueue
+	q      heap4
+	pool   eventPool
+	live   int // scheduled events neither fired nor cancelled
 	seq    uint64
 	nsteps uint64
 	rng    *Rand
@@ -135,51 +113,80 @@ func (e *Engine) SetTrace(fn func(Time, string)) { e.trace = fn }
 
 // At schedules fn to run at absolute time t. Scheduling in the past
 // (before Now) panics: it would break causality.
-func (e *Engine) At(t Time, name string, fn func()) *Event {
+func (e *Engine) At(t Time, name string, fn func()) EventRef {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event %q at %v before now %v", name, t, e.now))
 	}
-	ev := &Event{At: t, Do: fn, Name: name, seq: e.seq}
+	id := e.pool.alloc()
+	s := &e.pool.slots[id]
+	s.do = fn
+	s.name = name
+	s.live = true
+	e.q.push(heapEntry{at: t, seq: e.seq, slot: id})
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return ev
+	e.live++
+	return EventRef{slot: id + 1, gen: s.gen}
 }
 
 // After schedules fn to run d after the current time.
-func (e *Engine) After(d Duration, name string, fn func()) *Event {
+func (e *Engine) After(d Duration, name string, fn func()) EventRef {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v for event %q", d, name))
 	}
 	return e.At(e.now.Add(d), name, fn)
 }
 
-// Cancel removes a pending event. Cancelling an already-fired or
-// already-cancelled event is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.dead || ev.index < 0 {
-		if ev != nil {
-			ev.dead = true
-		}
+// Cancel removes a pending event. Cancelling the zero ref, an
+// already-fired, already-cancelled, or recycled event is a no-op: the
+// generation stamp stops stale refs from touching a reused slot.
+// Cancellation is lazy — the heap entry is tombstoned here and drained
+// when it surfaces, never removed from the middle of the heap.
+func (e *Engine) Cancel(ref EventRef) {
+	if ref.slot == 0 {
 		return
 	}
-	ev.dead = true
-	heap.Remove(&e.queue, ev.index)
+	id := ref.slot - 1
+	if int(id) >= len(e.pool.slots) {
+		return
+	}
+	s := &e.pool.slots[id]
+	if s.gen != ref.gen || !s.live {
+		return
+	}
+	e.live--
+	// Fast path: if the event's entry is still the heap's tail (the
+	// common schedule-then-cancel timer pattern), truncating it keeps
+	// the heap property and leaves no tombstone behind.
+	if n := e.q.len(); n > 0 && e.q.entries[n-1].slot == id {
+		e.q.entries = e.q.entries[:n-1]
+		e.pool.release(id)
+		return
+	}
+	s.live = false
+	s.do = nil // free the closure now; the slot itself drains on pop
+	s.name = ""
 }
 
 // Step executes the single next event. It returns false when the queue is
 // empty.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.dead {
+	for e.q.len() > 0 {
+		ent := e.q.pop()
+		s := &e.pool.slots[ent.slot]
+		if !s.live {
+			e.pool.release(ent.slot) // drained tombstone
 			continue
 		}
-		e.now = ev.At
+		do, name := s.do, s.name
+		s.live = false
+		e.pool.release(ent.slot)
+		e.live--
+		e.now = ent.at
 		e.nsteps++
-		if e.trace != nil && ev.Name != "" {
-			e.trace(e.now, ev.Name)
+		if e.trace != nil && name != "" {
+			e.trace(e.now, name)
 		}
-		ev.Do()
+		do()
 		return true
 	}
 	return false
@@ -194,12 +201,9 @@ func (e *Engine) Run() {
 // RunUntil executes events with At <= deadline, then advances the clock to
 // the deadline (if the queue emptied earlier or the next event is later).
 func (e *Engine) RunUntil(deadline Time) {
-	for len(e.queue) > 0 {
-		next := e.peek()
-		if next == nil {
-			break
-		}
-		if next.At > deadline {
+	for {
+		next, ok := e.peek()
+		if !ok || next > deadline {
 			break
 		}
 		e.Step()
@@ -219,24 +223,21 @@ func (e *Engine) RunWhile(cond func() bool) {
 	}
 }
 
-func (e *Engine) peek() *Event {
-	for len(e.queue) > 0 {
-		if e.queue[0].dead {
-			heap.Pop(&e.queue)
+// peek reports the time of the next live event, draining any tombstones
+// that have reached the top of the heap.
+func (e *Engine) peek() (Time, bool) {
+	for e.q.len() > 0 {
+		ent := e.q.entries[0]
+		if !e.pool.slots[ent.slot].live {
+			e.q.pop()
+			e.pool.release(ent.slot)
 			continue
 		}
-		return e.queue[0]
+		return ent.at, true
 	}
-	return nil
+	return 0, false
 }
 
-// Pending reports the number of live queued events.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.queue {
-		if !ev.dead {
-			n++
-		}
-	}
-	return n
-}
+// Pending reports the number of live queued events. It is a maintained
+// counter, O(1) — not a scan of the queue.
+func (e *Engine) Pending() int { return e.live }

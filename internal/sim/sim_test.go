@@ -60,16 +60,16 @@ func TestEngineCancel(t *testing.T) {
 	if fired {
 		t.Fatal("cancelled event fired")
 	}
-	// Double-cancel and cancel-after-run must not panic.
+	// Double-cancel, cancel-after-run, and zero-ref cancel must not panic.
 	e.Cancel(ev)
-	e.Cancel(nil)
+	e.Cancel(NoEvent)
+	e.Cancel(EventRef{})
 }
 
 func TestEngineCancelDuringRun(t *testing.T) {
 	e := NewEngine(1)
 	fired := false
-	var ev *Event
-	ev = e.At(20, "victim", func() { fired = true })
+	ev := e.At(20, "victim", func() { fired = true })
 	e.At(10, "canceller", func() { e.Cancel(ev) })
 	e.Run()
 	if fired {

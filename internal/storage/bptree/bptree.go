@@ -208,26 +208,34 @@ func decodeNode(buf []byte) (*node, error) {
 		}
 		n.next = seg.ObjectID{Hi: binary.LittleEndian.Uint64(buf[off:]), Lo: binary.LittleEndian.Uint64(buf[off+8:])}
 		off += 16
-		for i := 0; i < cnt; i++ {
-			n.keys = append(n.keys, binary.LittleEndian.Uint64(buf[off+i*8:]))
-		}
-		off += LeafCap * 8
-		for i := 0; i < cnt; i++ {
-			n.vals = append(n.vals, binary.LittleEndian.Uint64(buf[off+i*8:]))
+		if cnt > 0 {
+			// One exact-size backing array for both slices; the capacity
+			// caps keep any later append from crossing into vals.
+			kv := make([]uint64, 2*cnt)
+			n.keys, n.vals = kv[:cnt:cnt], kv[cnt:]
+			for i := 0; i < cnt; i++ {
+				n.keys[i] = binary.LittleEndian.Uint64(buf[off+i*8:])
+			}
+			off += LeafCap * 8
+			for i := 0; i < cnt; i++ {
+				n.vals[i] = binary.LittleEndian.Uint64(buf[off+i*8:])
+			}
 		}
 	case kindInternal:
 		if cnt > IntCap {
 			return nil, fmt.Errorf("%w: internal count %d", ErrCorrupt, cnt)
 		}
+		n.keys = make([]uint64, cnt)
 		for i := 0; i < cnt; i++ {
-			n.keys = append(n.keys, binary.LittleEndian.Uint64(buf[off+i*8:]))
+			n.keys[i] = binary.LittleEndian.Uint64(buf[off+i*8:])
 		}
 		off += IntCap * 8
+		n.children = make([]seg.ObjectID, cnt+1)
 		for i := 0; i <= cnt; i++ {
-			n.children = append(n.children, seg.ObjectID{
+			n.children[i] = seg.ObjectID{
 				Hi: binary.LittleEndian.Uint64(buf[off+i*16:]),
 				Lo: binary.LittleEndian.Uint64(buf[off+i*16+8:]),
-			})
+			}
 		}
 	default:
 		return nil, fmt.Errorf("%w: kind %d", ErrCorrupt, n.kind)

@@ -55,7 +55,7 @@ type homaRecv struct {
 	received map[int]bool
 	granted  int
 	lastAct  sim.Time
-	timer    *sim.Event
+	timer    sim.EventRef
 	done     bool
 }
 
@@ -190,9 +190,7 @@ func (h *homaEndpoint) onData(src netsim.Addr, frag dataFrag) {
 	}
 	if len(r.received) == r.total {
 		r.done = true
-		if r.timer != nil {
-			h.eng.Cancel(r.timer)
-		}
+		h.eng.Cancel(r.timer)
 		h.sendCtrl(src, ctrlMsg{Op: doneOp, MsgID: r.id})
 		delete(h.inbound, key)
 		h.stats.Delivered++

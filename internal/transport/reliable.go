@@ -43,7 +43,7 @@ type sendConn struct {
 	nextSeq  uint64 // next seq to assign
 	sent     uint64 // next seq to transmit (may trail nextSeq under window limit)
 	buf      map[uint64]outFrag
-	rtoTimer *sim.Event
+	rtoTimer sim.EventRef
 	backoff  int
 }
 
@@ -130,7 +130,7 @@ func (r *reliableEndpoint) pump(c *sendConn) {
 		r.transmit(c, of)
 		c.sent++
 	}
-	if c.rtoTimer == nil && c.base < c.nextSeq {
+	if !c.rtoTimer.Valid() && c.base < c.nextSeq {
 		r.armRTO(c)
 	}
 }
@@ -151,7 +151,7 @@ func (r *reliableEndpoint) transmit(c *sendConn, of outFrag) {
 func (r *reliableEndpoint) armRTO(c *sendConn) {
 	rto := r.p.RTO << uint(c.backoff)
 	c.rtoTimer = r.eng.After(rto, "rel.rto", func() {
-		c.rtoTimer = nil
+		c.rtoTimer = sim.NoEvent
 		if c.base >= c.nextSeq {
 			return
 		}
@@ -198,10 +198,8 @@ func (r *reliableEndpoint) onAck(src netsim.Addr, cum uint64) {
 	}
 	c.base = cum
 	c.backoff = 0
-	if c.rtoTimer != nil {
-		r.eng.Cancel(c.rtoTimer)
-		c.rtoTimer = nil
-	}
+	r.eng.Cancel(c.rtoTimer) // no-op on the zero ref or a fired timer
+	c.rtoTimer = sim.NoEvent
 	r.pump(c)
 }
 

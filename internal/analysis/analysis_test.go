@@ -1,0 +1,91 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"hyperion/internal/analysis"
+	"hyperion/internal/analysis/checkers"
+	"hyperion/internal/analysis/nodeterm"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		path string
+		want analysis.Layer
+	}{
+		{"hyperion/internal/sim", analysis.LayerModel},
+		{"hyperion/internal/nic", analysis.LayerModel},
+		{"hyperion/internal/bench", analysis.LayerHarness},
+		{"hyperion/cmd/benchctl", analysis.LayerHarness},
+		{"hyperion/cmd/hyperlint", analysis.LayerHarness},
+		{"hyperion", analysis.LayerExempt},
+		{"hyperion/examples/pingpong", analysis.LayerExempt},
+		{"hyperion/internal/analysis", analysis.LayerExempt},
+		{"hyperion/internal/analysis/nodeterm", analysis.LayerExempt},
+		{"hyperion/internal/sim.test", analysis.LayerExempt},
+		{"hyperion/internal/sim_test", analysis.LayerExempt},
+		// Bare testdata package names classify by suffix.
+		{"nodeterm", analysis.LayerModel},
+		{"nodeterm_harness", analysis.LayerHarness},
+		{"nodeterm_exempt", analysis.LayerExempt},
+	}
+	for _, c := range cases {
+		if got := analysis.Classify(c.path); got != c.want {
+			t.Errorf("Classify(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}
+
+func TestSelect(t *testing.T) {
+	all := checkers.All()
+	if len(all) < 4 {
+		t.Fatalf("expected at least 4 analyzers, got %d", len(all))
+	}
+	sel, err := checkers.Select([]string{"nodeterm", "simtime"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 2 || sel[0].Name != "nodeterm" || sel[1].Name != "simtime" {
+		t.Errorf("Select returned wrong analyzers: %v", names(sel))
+	}
+	if _, err := checkers.Select([]string{"nosuch"}); err == nil {
+		t.Error("Select(nosuch) should fail")
+	}
+}
+
+func names(as []*analysis.Analyzer) []string {
+	out := make([]string, len(as))
+	for i, a := range as {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// TestBareAllowComment checks the framework's handling of a
+// //hyperlint:allow comment with no justification: the underlying
+// finding is suppressed, but the bare comment itself is reported
+// under the "allow" pseudo-check.
+func TestBareAllowComment(t *testing.T) {
+	root, err := analysis.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := analysis.NewLoader(root)
+	dir := filepath.Join("testdata", "src", "framework_suppress")
+	pkg, err := loader.LoadDir(dir, "framework_suppress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{nodeterm.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("expected exactly one finding (the bare allow), got %d: %v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Check != "allow" {
+		t.Errorf("finding check = %q, want \"allow\"; message: %s", f.Check, f.Message)
+	}
+}

@@ -1,0 +1,151 @@
+// Package analysistest runs hyperlint analyzers over golden testdata
+// packages, in the style of x/tools/go/analysis/analysistest.
+//
+// A testdata package lives at <testdata>/src/<name>/ and encodes its
+// expected diagnostics as comments:
+//
+//	eng.RunUntil(5000) // want `raw literal 5000`
+//
+// Each `want` comment carries one or more quoted regular expressions;
+// every diagnostic reported on that line must match one of them, and
+// every expectation must be matched by exactly one diagnostic. A line
+// with findings but no want comment — or the reverse — fails the test.
+//
+// The package name doubles as its import path, so the layer-
+// classification suffixes work: a package named foo_harness loads as a
+// harness-layer package, foo_exempt as exempt (see analysis.Classify).
+// Testdata may import real module packages such as hyperion/internal/sim.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"hyperion/internal/analysis"
+)
+
+// Run loads each named testdata package and checks the analyzer's
+// diagnostics against the package's want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	root, err := analysis.ModuleRoot(testdata)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	loader := analysis.NewLoader(root)
+	for _, name := range pkgs {
+		dir := filepath.Join(testdata, "src", name)
+		pkg, err := loader.LoadDir(dir, name)
+		if err != nil {
+			t.Errorf("loading %s: %v", name, err)
+			continue
+		}
+		findings, err := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("running %s on %s: %v", a.Name, name, err)
+			continue
+		}
+		checkExpectations(t, pkg, findings)
+	}
+}
+
+// expectation is one quoted regexp from a want comment.
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+func checkExpectations(t *testing.T, pkg *analysis.Package, findings []analysis.Finding) {
+	t.Helper()
+	wants := make(map[lineKey][]*expectation)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				collectWants(t, pkg, c, wants)
+			}
+		}
+	}
+	for _, f := range findings {
+		key := lineKey{f.Position.Filename, f.Position.Line}
+		if !matchOne(wants[key], f.Message) {
+			t.Errorf("%s: unexpected diagnostic: [%s] %s", f.Position, f.Check, f.Message)
+		}
+	}
+	for key, exps := range wants {
+		for _, e := range exps {
+			if !e.matched {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", key.file, key.line, e.re)
+			}
+		}
+	}
+}
+
+func collectWants(t *testing.T, pkg *analysis.Package, c *ast.Comment, wants map[lineKey][]*expectation) {
+	t.Helper()
+	m := wantRE.FindStringSubmatch(c.Text)
+	if m == nil {
+		return
+	}
+	posn := pkg.Fset.Position(c.Pos())
+	key := lineKey{posn.Filename, posn.Line}
+	rest := strings.TrimSpace(m[1])
+	for rest != "" {
+		pat, remainder, err := nextQuoted(rest)
+		if err != nil {
+			t.Errorf("%s: malformed want comment %q: %v", posn, c.Text, err)
+			return
+		}
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			t.Errorf("%s: bad want regexp %q: %v", posn, pat, err)
+			return
+		}
+		wants[key] = append(wants[key], &expectation{re: re})
+		rest = strings.TrimSpace(remainder)
+	}
+}
+
+// nextQuoted splits the leading Go string literal (double- or
+// back-quoted) off a want comment payload.
+func nextQuoted(s string) (pat, rest string, err error) {
+	switch s[0] {
+	case '`':
+		end := strings.IndexByte(s[1:], '`')
+		if end < 0 {
+			return "", "", fmt.Errorf("unterminated back-quoted string")
+		}
+		return s[1 : 1+end], s[end+2:], nil
+	case '"':
+		for i := 1; i < len(s); i++ {
+			if s[i] == '"' && s[i-1] != '\\' {
+				pat, err := strconv.Unquote(s[:i+1])
+				return pat, s[i+1:], err
+			}
+		}
+		return "", "", fmt.Errorf("unterminated quoted string")
+	default:
+		return "", "", fmt.Errorf("expected quoted regexp, found %q", s)
+	}
+}
+
+func matchOne(exps []*expectation, msg string) bool {
+	for _, e := range exps {
+		if !e.matched && e.re.MatchString(msg) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,188 @@
+// Package eventref enforces the EventRef discipline introduced with
+// the generation-stamped event pool: scheduled events are referred to
+// only through sim.EventRef value handles.
+//
+// The engine recycles event slots through a free list, so any channel
+// back to a slot other than a generation-checked EventRef is a
+// use-after-recycle bug waiting to happen. Concretely the analyzer
+// bans, in model packages:
+//
+//   - pointers to EventRef (fields, params, variables, &ref): refs are
+//     small values meant to be copied; aliasing one reintroduces
+//     exactly the shared-mutable-handle problem the pool removed;
+//   - comparing EventRefs with == or != — a hand-rolled generation
+//     check. Use ref.Valid(), or just call Cancel: it is specified to
+//     be a no-op on zero, fired, cancelled, and recycled refs;
+//   - cancelling a stored ref (x.timer) without re-arming or resetting
+//     it to sim.NoEvent in the same block, which leaves a stale handle
+//     that later code may mistake for a live timer;
+//   - storing At/After results in package-level variables: engines are
+//     per-experiment and run concurrently in the parallel harness, so
+//     global timer state corrupts whichever engine touches it second.
+package eventref
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"hyperion/internal/analysis"
+)
+
+// Analyzer is the eventref pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "eventref",
+	Doc:  "enforces sim.EventRef handle discipline in model packages",
+	Run:  run,
+}
+
+const simPath = analysis.ModulePath + "/internal/sim"
+
+func run(pass *analysis.Pass) error {
+	if pass.Layer != analysis.LayerModel || pass.Path == simPath {
+		return nil
+	}
+	for _, f := range pass.NonTestFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StarExpr:
+				if tv, ok := pass.TypesInfo.Types[n]; ok && tv.IsType() && isEventRefPtr(tv.Type) {
+					pass.Reportf(n.Pos(), "*sim.EventRef: refs are value handles — copy and store them, never alias them through a pointer")
+				}
+			case *ast.UnaryExpr:
+				if n.Op == token.AND && isEventRef(typeOf(pass, n.X)) {
+					pass.Reportf(n.Pos(), "&<EventRef>: refs are value handles — copy and store them, never alias them through a pointer")
+				}
+			case *ast.BinaryExpr:
+				if (n.Op == token.EQL || n.Op == token.NEQ) &&
+					(isEventRef(typeOf(pass, n.X)) || isEventRef(typeOf(pass, n.Y))) {
+					pass.Reportf(n.Pos(), "comparing EventRefs is a hand-rolled generation check: use ref.Valid(), or just Cancel — it is safe on stale refs")
+				}
+			case *ast.BlockStmt:
+				checkCancelReset(pass, n.List)
+			case *ast.CaseClause:
+				checkCancelReset(pass, n.Body)
+			case *ast.AssignStmt:
+				checkGlobalStore(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func typeOf(pass *analysis.Pass, e ast.Expr) types.Type {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return nil
+	}
+	return tv.Type
+}
+
+func isEventRef(t types.Type) bool {
+	return t != nil && analysis.IsNamed(t, simPath, "EventRef")
+}
+
+func isEventRefPtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	return ok && isEventRef(p.Elem())
+}
+
+// engineMethod resolves a call to a *sim.Engine method of the given
+// name, returning the argument expressions or nil.
+func engineMethod(pass *analysis.Pass, call *ast.CallExpr, name string) []ast.Expr {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Name() != name || fn.Pkg() == nil || fn.Pkg().Path() != simPath {
+		return nil
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return nil
+	}
+	return call.Args
+}
+
+// checkCancelReset walks a statement list looking for
+// `eng.Cancel(x.sel)` on a *stored* ref (selector expression) that the
+// remainder of the list neither resets to sim.NoEvent nor re-arms with
+// a fresh At/After result. Locals passed to Cancel are exempt — they
+// die with the scope.
+func checkCancelReset(pass *analysis.Pass, stmts []ast.Stmt) {
+	for i, st := range stmts {
+		expr, ok := st.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := analysis.Unparen(expr.X).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		args := engineMethod(pass, call, "Cancel")
+		if len(args) != 1 {
+			continue
+		}
+		sel, ok := analysis.Unparen(args[0]).(*ast.SelectorExpr)
+		if !ok || !isEventRef(typeOf(pass, sel)) {
+			continue
+		}
+		path := analysis.ExprString(sel)
+		if path == "" || resetLater(pass, stmts[i+1:], path) {
+			continue
+		}
+		pass.Reportf(call.Pos(), "cancelled ref %s is left set: assign sim.NoEvent (or re-arm it) so Valid() and later Cancels stay meaningful", path)
+	}
+}
+
+// resetLater reports whether any following statement assigns the same
+// selector path — to sim.NoEvent, a fresh schedule, anything. Nested
+// blocks count: a reset on one branch is taken as intent.
+func resetLater(pass *analysis.Pass, stmts []ast.Stmt, path string) bool {
+	found := false
+	for _, st := range stmts {
+		ast.Inspect(st, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				if analysis.ExprString(lhs) == path {
+					found = true
+				}
+			}
+			return true
+		})
+	}
+	return found
+}
+
+// checkGlobalStore flags `globalVar = eng.After(...)` / At(...):
+// package-level timer state breaks the one-engine-per-goroutine
+// isolation the parallel experiment harness relies on.
+func checkGlobalStore(pass *analysis.Pass, as *ast.AssignStmt) {
+	for i, rhs := range as.Rhs {
+		call, ok := analysis.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if engineMethod(pass, call, "At") == nil && engineMethod(pass, call, "After") == nil {
+			continue
+		}
+		if i >= len(as.Lhs) {
+			continue
+		}
+		id, ok := analysis.Unparen(as.Lhs[i]).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[id]
+		}
+		if v, ok := obj.(*types.Var); ok && v.Parent() == pass.Pkg.Scope() {
+			pass.Reportf(as.Pos(), "EventRef stored in package-level var %s: engines run concurrently in the parallel harness; keep timer state per-engine", id.Name)
+		}
+	}
+}

@@ -1,0 +1,13 @@
+package eventref_test
+
+import (
+	"testing"
+
+	"hyperion/internal/analysis/analysistest"
+	"hyperion/internal/analysis/eventref"
+)
+
+func TestEventref(t *testing.T) {
+	analysistest.Run(t, "../testdata", eventref.Analyzer,
+		"eventref", "eventref_harness")
+}

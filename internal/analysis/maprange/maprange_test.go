@@ -1,0 +1,13 @@
+package maprange_test
+
+import (
+	"testing"
+
+	"hyperion/internal/analysis/analysistest"
+	"hyperion/internal/analysis/maprange"
+)
+
+func TestMaprange(t *testing.T) {
+	analysistest.Run(t, "../testdata", maprange.Analyzer,
+		"maprange", "maprange_harness")
+}

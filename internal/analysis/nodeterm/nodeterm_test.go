@@ -1,0 +1,13 @@
+package nodeterm_test
+
+import (
+	"testing"
+
+	"hyperion/internal/analysis/analysistest"
+	"hyperion/internal/analysis/nodeterm"
+)
+
+func TestNodeterm(t *testing.T) {
+	analysistest.Run(t, "../testdata", nodeterm.Analyzer,
+		"nodeterm", "nodeterm_harness", "nodeterm_exempt")
+}

@@ -1,0 +1,94 @@
+// Package simtime flags raw integer literals flowing into sim.Time or
+// sim.Duration positions in model packages — the unit bugs where a
+// bare 4000 means picoseconds to the engine but nanoseconds to the
+// author.
+//
+// Virtual time is picoseconds. A literal is fine when it *scales a
+// unit* (4 * sim.Nanosecond, latency / 2) or when it defines a named
+// constant whose name carries the unit. It is flagged when it is
+// added to, subtracted from, or compared against sim time, passed as
+// a sim.Time/sim.Duration argument, assigned to a sim time variable,
+// or force-converted (sim.Duration(80)). Zero is always allowed — it
+// is unit-free.
+package simtime
+
+import (
+	"go/ast"
+	"go/token"
+
+	"hyperion/internal/analysis"
+)
+
+// Analyzer is the simtime pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "simtime",
+	Doc:  "flags unit-less integer literals used as sim.Time/sim.Duration",
+	Run:  run,
+}
+
+const simPath = analysis.ModulePath + "/internal/sim"
+
+func run(pass *analysis.Pass) error {
+	// Unit hygiene applies to the harness layer too: experiment
+	// definitions in internal/bench parameterize models with
+	// durations, and a unit slip there corrupts tables just as surely.
+	if pass.Layer == analysis.LayerExempt || pass.Path == simPath {
+		return nil
+	}
+	for _, f := range pass.NonTestFiles() {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if lit, ok := n.(*ast.BasicLit); ok && lit.Kind == token.INT {
+				checkLit(pass, lit, stack)
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkLit(pass *analysis.Pass, lit *ast.BasicLit, stack []ast.Node) {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok {
+		return
+	}
+	var kind string
+	switch {
+	case analysis.IsNamed(tv.Type, simPath, "Time"):
+		kind = "Time"
+	case analysis.IsNamed(tv.Type, simPath, "Duration"):
+		kind = "Duration"
+	default:
+		return
+	}
+	if tv.Value != nil && tv.Value.String() == "0" {
+		return // zero is unit-free
+	}
+	// A literal whose nearest non-paren parent is *, / or % is scaling
+	// a unit expression (4*sim.Nanosecond, latency/2) — allowed.
+	for i := len(stack) - 1; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			continue
+		}
+		if p, ok := stack[i].(*ast.BinaryExpr); ok &&
+			(p.Op == token.MUL || p.Op == token.QUO || p.Op == token.REM) {
+			return
+		}
+		break
+	}
+	// A literal anywhere inside a const declaration is *defining* a
+	// named constant — the name is where the unit lives.
+	for i := len(stack) - 1; i >= 0; i-- {
+		if gd, ok := stack[i].(*ast.GenDecl); ok && gd.Tok == token.CONST {
+			return
+		}
+	}
+	pass.Reportf(lit.Pos(),
+		"raw literal %s has type sim.%s (picoseconds): scale a unit (%s*sim.Nanosecond) or name a constant so the unit is visible",
+		lit.Value, kind, lit.Value)
+}

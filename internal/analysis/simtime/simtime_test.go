@@ -1,0 +1,13 @@
+package simtime_test
+
+import (
+	"testing"
+
+	"hyperion/internal/analysis/analysistest"
+	"hyperion/internal/analysis/simtime"
+)
+
+func TestSimtime(t *testing.T) {
+	analysistest.Run(t, "../testdata", simtime.Analyzer,
+		"simtime", "simtime_harness", "simtime_exempt")
+}

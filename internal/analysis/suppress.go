@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// Suppression comments.
+//
+// A finding is silenced by annotating its line (or the line directly
+// above it) with
+//
+//	//hyperlint:allow(<check>[,<check>...]) <justification>
+//
+// The justification is mandatory: an allow comment without one is
+// itself a diagnostic. The comment names the checks it silences, so an
+// annotation written for nodeterm never accidentally hides a later
+// maprange finding on the same line. `allow(all)` exists for generated
+// code but should be vanishingly rare in a tree this size.
+
+var allowRE = regexp.MustCompile(`^//hyperlint:allow\(([a-z,]+)\)\s*(.*)$`)
+
+type allowComment struct {
+	checks []string
+	reason string
+	posn   token.Position
+}
+
+type suppressions struct {
+	byLine map[string]map[int][]*allowComment // filename -> line -> comments
+	all    []*allowComment
+}
+
+func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
+	s := &suppressions{byLine: make(map[string]map[int][]*allowComment)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				ac := &allowComment{
+					checks: strings.Split(m[1], ","),
+					reason: strings.TrimSpace(m[2]),
+					posn:   posn,
+				}
+				s.all = append(s.all, ac)
+				lines := s.byLine[posn.Filename]
+				if lines == nil {
+					lines = make(map[int][]*allowComment)
+					s.byLine[posn.Filename] = lines
+				}
+				// The annotation covers its own line (trailing
+				// comment) and the next line (standalone comment
+				// above the offending statement).
+				lines[posn.Line] = append(lines[posn.Line], ac)
+				lines[posn.Line+1] = append(lines[posn.Line+1], ac)
+			}
+		}
+	}
+	return s
+}
+
+// allows reports whether a diagnostic from check at posn is silenced.
+func (s *suppressions) allows(check string, posn token.Position) bool {
+	for _, ac := range s.byLine[posn.Filename][posn.Line] {
+		for _, c := range ac.checks {
+			if c == check || c == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// missingReasons returns a finding for every allow comment that skipped
+// the justification. The annotation still suppresses — the point of the
+// finding is to make the omission impossible to merge, not to re-reveal
+// what it hid.
+func (s *suppressions) missingReasons() []Finding {
+	var out []Finding
+	for _, ac := range s.all {
+		if ac.reason == "" {
+			out = append(out, Finding{
+				Check:    "allow",
+				Position: ac.posn,
+				Message:  "hyperlint:allow comment needs a justification: //hyperlint:allow(" + strings.Join(ac.checks, ",") + ") <why this is safe>",
+			})
+		}
+	}
+	return out
+}

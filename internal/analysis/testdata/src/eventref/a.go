@@ -1,0 +1,61 @@
+// Package eventref is hyperlint golden-test input: EventRef handle
+// discipline against the real hyperion/internal/sim API.
+package eventref
+
+import "hyperion/internal/sim"
+
+var globalTimer sim.EventRef
+
+type dev struct {
+	eng   *sim.Engine
+	timer sim.EventRef
+}
+
+func (d *dev) armGlobal() {
+	globalTimer = d.eng.After(5*sim.Nanosecond, "tick", func() {}) // want `package-level var globalTimer`
+}
+
+func (d *dev) badCancel() {
+	d.eng.Cancel(d.timer) // want `cancelled ref d\.timer is left set`
+}
+
+func (d *dev) goodCancel() {
+	d.eng.Cancel(d.timer)
+	d.timer = sim.NoEvent
+}
+
+func (d *dev) rearm() {
+	d.eng.Cancel(d.timer)
+	d.timer = d.eng.After(sim.Microsecond, "tick", func() {})
+}
+
+func (d *dev) branchReset(hard bool) {
+	d.eng.Cancel(d.timer)
+	if hard {
+		d.timer = sim.NoEvent
+	}
+}
+
+func (d *dev) localCancel(ref sim.EventRef) {
+	d.eng.Cancel(ref) // locals die with the scope: no finding
+}
+
+func (d *dev) compare(a, b sim.EventRef) bool {
+	if a == sim.NoEvent { // want `hand-rolled generation check`
+		return false
+	}
+	return a != b // want `hand-rolled generation check`
+}
+
+func valid(a sim.EventRef) bool {
+	return a.Valid() // the sanctioned liveness probe
+}
+
+func alias(r sim.EventRef) *sim.EventRef { // want `never alias them through a pointer`
+	return &r // want `never alias them through a pointer`
+}
+
+func (d *dev) suppressedCompare(a sim.EventRef) bool {
+	//hyperlint:allow(eventref) golden test: zero-ref comparison is deliberate here
+	return a == sim.NoEvent
+}

@@ -1,0 +1,9 @@
+// Package eventref_harness is hyperlint golden-test input: eventref
+// only polices model packages, so nothing here is diagnosed.
+package eventref_harness
+
+import "hyperion/internal/sim"
+
+func compare(a sim.EventRef) bool {
+	return a == sim.NoEvent
+}

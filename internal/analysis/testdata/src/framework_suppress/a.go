@@ -1,0 +1,11 @@
+// Package framework_suppress is hyperlint golden-test input for the
+// framework itself: an allow comment with no justification suppresses
+// the finding but earns an "allow" finding of its own.
+package framework_suppress
+
+import "time"
+
+func bare() time.Time {
+	//hyperlint:allow(nodeterm)
+	return time.Now()
+}

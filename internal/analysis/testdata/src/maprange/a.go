@@ -1,0 +1,67 @@
+// Package maprange is hyperlint golden-test input: map iterations
+// whose bodies are order-sensitive (flagged) or order-free (allowed).
+package maprange
+
+import "fmt"
+
+func flagged(m map[string]int) (string, bool) {
+	for k, v := range m { // want `order-sensitive \(call at line`
+		fmt.Println(k, v)
+	}
+	last := ""
+	for k := range m { // want `order-sensitive \(assignment at line`
+		last = k
+	}
+	_ = last
+	for k, v := range m { // want `order-sensitive \(assignment at line`
+		m[k+k] = v // index is not the range key: writes can collide
+	}
+	for k := range m { // want `break picks an arbitrary element`
+		if len(k) > 3 {
+			break
+		}
+	}
+	for k := range m { // want `return picks an arbitrary element`
+		return k, true
+	}
+	return "", false
+}
+
+func allowed(m map[string]int, dst map[string]int) int {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // collect-then-sort idiom
+	}
+	total := 0
+	for _, v := range m {
+		total += v // commutative accumulation
+	}
+	for k, v := range m {
+		dst[k] = v // distinct-key merge
+	}
+	hist := make(map[int]int)
+	for _, v := range m {
+		hist[v]++ // histogram counts commute
+	}
+	for k := range m {
+		if k == "" {
+			delete(m, k) // deleting from the ranged map is specified-safe
+		}
+	}
+	sum := 0.0
+	for _, v := range m {
+		sum += float64(v) // conversions are effect-free
+	}
+	for k := range m {
+		local := k + "!"
+		_ = local // := definitions are loop-local
+	}
+	return total + len(keys) + len(hist) + int(sum)
+}
+
+func suppressed(m map[string]int) {
+	//hyperlint:allow(maprange) golden test: output order deliberately unspecified here
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}

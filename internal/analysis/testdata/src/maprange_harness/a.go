@@ -1,0 +1,12 @@
+// Package maprange_harness is hyperlint golden-test input: maprange
+// only polices model packages, so this harness-layer iteration is
+// not diagnosed.
+package maprange_harness
+
+import "fmt"
+
+func dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}

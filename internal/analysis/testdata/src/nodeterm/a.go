@@ -1,0 +1,30 @@
+// Package nodeterm is hyperlint golden-test input: a model-layer
+// package exercising every construct the nodeterm analyzer bans.
+package nodeterm
+
+import (
+	"math/rand" // want `model package imports "math/rand": use the engine's seeded sim.Rand instead`
+	"sync"      // want `model package imports "sync": models run single-threaded inside the event loop`
+	"time"
+)
+
+type dev struct {
+	mu   sync.Mutex
+	done chan bool // want `model package declares a channel type`
+}
+
+func (d *dev) step() time.Time {
+	d.mu.Lock()
+	t := time.Now()                 // want `model package calls time.Now`
+	time.Sleep(time.Millisecond)    // want `model package calls time.Sleep`
+	elapsed := time.Since(t)        // want `model package calls time.Since`
+	go d.step()                     // want `model package starts a goroutine`
+	d.done <- elapsed > time.Second // want `model package sends on a channel`
+	<-d.done                        // want `model package receives from a channel`
+	select {                        // want `model package uses select`
+	case <-d.done: // want `model package receives from a channel`
+	default:
+	}
+	_ = rand.Intn(4)
+	return t
+}

@@ -1,0 +1,13 @@
+package nodeterm
+
+import "time"
+
+// quiet shows both suppression placements: a standalone allow comment
+// covering the next line, and a trailing allow comment on the
+// offending line itself. Neither produces a diagnostic.
+func quiet() time.Time {
+	//hyperlint:allow(nodeterm) golden test: standalone suppression covers the next line
+	time.Sleep(time.Millisecond)
+	t := time.Now() //hyperlint:allow(nodeterm) golden test: trailing suppression covers its own line
+	return t
+}

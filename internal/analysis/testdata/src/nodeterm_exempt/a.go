@@ -1,0 +1,11 @@
+// Package nodeterm_exempt is hyperlint golden-test input: the _exempt
+// suffix places it outside the determinism contract, so nothing here
+// is diagnosed.
+package nodeterm_exempt
+
+import "time"
+
+func free() time.Time {
+	time.Sleep(time.Millisecond)
+	return time.Now()
+}

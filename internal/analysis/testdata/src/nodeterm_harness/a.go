@@ -1,0 +1,25 @@
+// Package nodeterm_harness is hyperlint golden-test input for the
+// harness layer (the _harness suffix classifies it): concurrency is
+// free here, but wall-clock reads must carry an allow annotation.
+package nodeterm_harness
+
+import (
+	"sync"
+	"time"
+)
+
+func measure(f func()) time.Duration {
+	var wg sync.WaitGroup // sync, channels and goroutines are fine in the harness
+	ch := make(chan int, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ch <- 1
+	}()
+	start := time.Now() // want `harness wall-clock read time.Now needs an annotation`
+	f()
+	wg.Wait()
+	<-ch
+	elapsed := time.Since(start) //hyperlint:allow(nodeterm) measurement only; never feeds model time
+	return elapsed
+}

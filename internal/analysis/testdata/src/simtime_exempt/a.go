@@ -1,0 +1,9 @@
+// Package simtime_exempt is hyperlint golden-test input: exempt
+// packages are outside the contract, so nothing here is diagnosed.
+package simtime_exempt
+
+import "hyperion/internal/sim"
+
+func free(eng *sim.Engine) {
+	eng.RunUntil(424242)
+}

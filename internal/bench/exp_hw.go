@@ -242,7 +242,7 @@ func Predictability() Result {
 	eng2.Run()
 
 	row := func(name string, l *sim.LatencyRecorder) {
-		ratio := float64(l.Percentile(99)) / float64(maxDur(l.Percentile(50), 1))
+		ratio := float64(l.Percentile(99)) / float64(maxDur(l.Percentile(50), 1*sim.Picosecond))
 		r.Table.AddRow(name, l.Percentile(50).String(), l.Percentile(99).String(),
 			l.Percentile(99.9).String(), l.Max().String(), f2(ratio))
 	}
@@ -310,7 +310,7 @@ func SegmentVsPage() Result {
 			pageCost += w.Translate(page)
 		}
 		tlbHit := float64(w.TLBHits) / float64(w.Walks) * 100
-		ratio := float64(pageCost) / float64(maxDur(segCost, 1))
+		ratio := float64(pageCost) / float64(maxDur(segCost, 1*sim.Picosecond))
 		r.Table.AddRow(itoa(int64(ws)), itoa(int64(ws*pagesPerObj)),
 			f2(float64(segCost)/accesses/float64(sim.Nanosecond)), f1(segHit),
 			f2(float64(pageCost)/accesses/float64(sim.Nanosecond)), f1(tlbHit), f2(ratio))

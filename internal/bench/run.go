@@ -35,9 +35,9 @@ func RunAll(workers int) []RunOutcome {
 		if seq {
 			runtime.ReadMemStats(&m0)
 		}
-		start := time.Now()
+		start := time.Now() //hyperlint:allow(nodeterm) harness-side wall measurement; never feeds model time
 		out[i].Result = exps[i].Run()
-		out[i].Wall = time.Since(start)
+		out[i].Wall = time.Since(start) //hyperlint:allow(nodeterm) harness-side wall measurement; never feeds model time
 		if seq {
 			var m1 runtime.MemStats
 			runtime.ReadMemStats(&m1)

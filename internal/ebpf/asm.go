@@ -2,6 +2,7 @@ package ebpf
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -401,15 +402,32 @@ func Disassemble(prog []Instruction) string {
 	return b.String()
 }
 
+// Reverse mnemonic tables for the disassembler, inverted once at init.
+// reverseOpTable visits mnemonics in sorted order so that if an opcode
+// ever grows an alias, the winner is the lexically-smallest name rather
+// than whichever the map iterator happened to yield last.
+var (
+	revALU    = reverseOpTable(alu64Ops)
+	revJmp    = reverseOpTable(jmpOps)
+	revAtomic = reverseOpTable(atomicOps)
+)
+
+func reverseOpTable[V comparable](ops map[string]V) map[V]string {
+	names := make([]string, 0, len(ops))
+	for name := range ops {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	rev := make(map[V]string, len(names))
+	for _, name := range names {
+		if _, dup := rev[ops[name]]; !dup {
+			rev[ops[name]] = name
+		}
+	}
+	return rev
+}
+
 func disasmOne(ins Instruction) (string, error) {
-	revALU := map[uint8]string{}
-	for k, v := range alu64Ops {
-		revALU[v] = k
-	}
-	revJmp := map[uint8]string{}
-	for k, v := range jmpOps {
-		revJmp[v] = k
-	}
 	revSize := map[uint8]string{SizeB: "b", SizeH: "h", SizeW: "w", SizeDW: "dw"}
 
 	switch ins.Class() {
@@ -468,10 +486,8 @@ func disasmOne(ins Instruction) (string, error) {
 		return fmt.Sprintf("ldx%s r%d, [r%d%+d]", revSize[ins.Op&0x18], ins.Dst, ins.Src, ins.Off), nil
 	case ClassSTX:
 		if ins.IsAtomic() {
-			for name, op := range atomicOps {
-				if op == ins.Imm {
-					return fmt.Sprintf("%s%s [r%d%+d], r%d", name, revSize[ins.Op&0x18], ins.Dst, ins.Off, ins.Src), nil
-				}
+			if name, ok := revAtomic[ins.Imm]; ok {
+				return fmt.Sprintf("%s%s [r%d%+d], r%d", name, revSize[ins.Op&0x18], ins.Dst, ins.Off, ins.Src), nil
 			}
 			return "", fmt.Errorf("bad atomic op")
 		}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 )
 
 // Map is the eBPF map interface: fixed-size keys and values, byte-slice
@@ -84,11 +85,17 @@ func (h *HashMap) Delete(key []byte) bool {
 	return ok
 }
 
-// Iterate visits all entries (order unspecified). Used by control-plane
-// code, not by programs.
+// Iterate visits all entries in ascending key order. Used by
+// control-plane code, not by programs; the sort keeps dumps and any
+// state derived from them replay-deterministic.
 func (h *HashMap) Iterate(fn func(key, value []byte) bool) {
-	for k, v := range h.m {
-		if !fn([]byte(k), v) {
+	keys := make([]string, 0, len(h.m))
+	for k := range h.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if !fn([]byte(k), h.m[k]) {
 			return
 		}
 	}

@@ -104,6 +104,7 @@ func Compile(prog []ebpf.Instruction, opts Options) (*Pipeline, error) {
 	st.OrigInsns = orig
 
 	vm := ebpf.NewVM(vcfg.Maps)
+	//hyperlint:allow(maprange) RegisterHelper stores vm.helpers[id] for distinct ids; visit order cannot matter
 	for id, h := range opts.Helpers {
 		vm.RegisterHelper(id, h)
 	}

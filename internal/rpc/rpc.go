@@ -176,6 +176,7 @@ func (c *Client) onMessage(src netsim.Addr, msg transport.Message) {
 	}
 	delete(c.pending, resp.ID)
 	c.eng.Cancel(pc.timer)
+	pc.timer = sim.NoEvent
 	if resp.Err != "" {
 		pc.cb(nil, fmt.Errorf("%w: %s", ErrRemote, resp.Err))
 		return
@@ -205,6 +206,7 @@ func (c *Client) Call(dst netsim.Addr, method string, arg any, argBytes int, cb 
 	if err != nil {
 		delete(c.pending, id)
 		c.eng.Cancel(pc.timer)
+		pc.timer = sim.NoEvent
 		cb(nil, err)
 	}
 }

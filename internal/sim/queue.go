@@ -93,4 +93,3 @@ func (h *heap4) siftUp(i int) {
 	}
 	h.entries[i] = e
 }
-

@@ -191,6 +191,7 @@ func (h *homaEndpoint) onData(src netsim.Addr, frag dataFrag) {
 	if len(r.received) == r.total {
 		r.done = true
 		h.eng.Cancel(r.timer)
+		r.timer = sim.NoEvent
 		h.sendCtrl(src, ctrlMsg{Op: doneOp, MsgID: r.id})
 		delete(h.inbound, key)
 		h.stats.Delivered++
@@ -210,12 +211,13 @@ func (h *homaEndpoint) onData(src netsim.Addr, frag dataFrag) {
 func (h *homaEndpoint) grantSRPT() {
 	var best *homaRecv
 	bestRem := int(^uint(0) >> 1)
+	//hyperlint:allow(maprange) selection is totally ordered by (remaining, id): the id tie-break makes the winner independent of visit order
 	for _, r := range h.inbound {
 		if r.done || r.granted >= r.total {
 			continue
 		}
 		rem := r.total - len(r.received)
-		if rem < bestRem {
+		if rem < bestRem || (rem == bestRem && best != nil && r.id < best.id) {
 			bestRem = rem
 			best = r
 		}

@@ -7,6 +7,7 @@
 //	benchctl all                     # run everything (EXPERIMENTS.md content)
 //	benchctl -parallel 4 all         # fan experiments out over 4 goroutines
 //	benchctl -json out.json all      # also write machine-readable results
+//	benchctl -compare old.json all   # diff wall/allocs/hashes vs a prior report
 //	benchctl table1                  # run one, by name or id (E1..E14)
 //
 // Parallel runs are deterministic: every experiment owns a private
@@ -26,6 +27,7 @@ import (
 func main() {
 	parallel := flag.Int("parallel", 1, "run 'all' across N goroutines, capped at GOMAXPROCS (each experiment keeps its own engine)")
 	jsonPath := flag.String("json", "", "with 'all': write machine-readable per-experiment results to this file")
+	comparePath := flag.String("compare", "", "with 'all': diff results against this prior BENCH_*.json; exit 1 on any table-hash mismatch")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -57,6 +59,18 @@ func main() {
 				os.Exit(1)
 			}
 		}
+		if *comparePath != "" {
+			old, err := bench.ReadJSON(*comparePath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchctl: reading %s: %v\n", *comparePath, err)
+				os.Exit(1)
+			}
+			cmp := bench.Compare(old, bench.MakeReport(workers, wall, outs))
+			fmt.Print(cmp.String())
+			if cmp.HashMismatches > 0 {
+				os.Exit(1)
+			}
+		}
 	default:
 		for _, name := range args {
 			e, ok := bench.ByName(name)
@@ -70,5 +84,5 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: benchctl [-parallel N] [-json path] list | all | <experiment>...")
+	fmt.Fprintln(os.Stderr, "usage: benchctl [-parallel N] [-json path] [-compare old.json] list | all | <experiment>...")
 }

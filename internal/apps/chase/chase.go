@@ -63,6 +63,11 @@ type Service struct {
 	dpu  *core.DPU
 	tree *bptree.Tree
 	pipe *ehdl.Pipeline
+	// Per-service scratch for the offloaded loop: node page reads and
+	// the per-hop program context (handlers run to completion, so one of
+	// each suffices).
+	pageBuf []byte
+	ctx     []byte
 
 	OffloadGets, NodeFetches int64
 }
@@ -135,14 +140,22 @@ func NewService(d *core.DPU, srv *rpc.Server, tree *bptree.Tree) (*Service, erro
 // per-hop program, follow its verdict. Storage cost accrues on the
 // DPU's view; the per-hop pipeline latency is charged explicitly.
 func (s *Service) offloadedGet(key uint64) (GetReply, error) {
+	if s.ctx == nil {
+		s.ctx = make([]byte, CtxBytes)
+	}
+	ctx := s.ctx
 	cur := s.tree.Root()
 	for hop := 1; hop <= maxDepth; hop++ {
-		page, err := s.dpu.View.ReadAt(cur, 0, bptree.NodeBytes)
+		page, err := s.dpu.View.ReadAtBuf(cur, 0, bptree.NodeBytes, s.pageBuf)
 		if err != nil {
 			return GetReply{}, err
 		}
-		ctx := make([]byte, CtxBytes)
+		s.pageBuf = page
 		binary.LittleEndian.PutUint64(ctx[CtxKey:], key)
+		// The key and the full node image are rewritten below; the
+		// program-written scratch fields in between must read as zero
+		// each hop, exactly as a fresh context would.
+		clear(ctx[CtxAction:CtxNode])
 		copy(ctx[CtxNode:], page)
 		res := s.pipe.Exec(ctx)
 		if res.Err != nil {

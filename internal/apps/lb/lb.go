@@ -37,6 +37,11 @@ type Balancer struct {
 	victims keyHeap
 	// Spill store on NVMe.
 	spill *kvssd.KV
+	// Encode scratch for spill keys/values; the store copies on Put and
+	// the balancer is single-threaded, so one buffer per balancer
+	// suffices.
+	kbuf [8]byte
+	vbuf [4]byte
 
 	Hits, SpillHits, Misses, Spills, NewConns, Closed int64
 }
@@ -75,10 +80,11 @@ func flowKey(p trace.Packet) uint64 {
 	return h
 }
 
-func keyBytes(k uint64) []byte {
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], k)
-	return b[:]
+// keyBytes encodes a flow key into the balancer's scratch buffer; the
+// result is valid until the next call.
+func (b *Balancer) keyBytes(k uint64) []byte {
+	binary.LittleEndian.PutUint64(b.kbuf[:], k)
+	return b.kbuf[:]
 }
 
 // pickBackend selects a backend for a new flow (weighted by position;
@@ -108,7 +114,7 @@ func (b *Balancer) Steer(p trace.Packet) (uint32, error) {
 		return dst, nil
 	}
 	// Cold path: consult the spill store on NVMe.
-	val, ok, err := b.spill.Get(keyBytes(k))
+	val, ok, err := b.spill.Get(b.keyBytes(k))
 	if err != nil {
 		return 0, err
 	}
@@ -119,7 +125,7 @@ func (b *Balancer) Steer(p trace.Packet) (uint32, error) {
 	b.SpillHits++
 	dst := binary.LittleEndian.Uint32(val)
 	if p.Flags == 0x01 { // FIN
-		if _, err := b.spill.Delete(keyBytes(k)); err != nil {
+		if _, err := b.spill.Delete(b.keyBytes(k)); err != nil {
 			return 0, err
 		}
 		b.Closed++
@@ -127,7 +133,7 @@ func (b *Balancer) Steer(p trace.Packet) (uint32, error) {
 	}
 	// Promote the reactivated flow back into DRAM.
 	b.insert(k, dst)
-	if _, err := b.spill.Delete(keyBytes(k)); err != nil {
+	if _, err := b.spill.Delete(b.keyBytes(k)); err != nil {
 		return 0, err
 	}
 	return dst, nil
@@ -149,9 +155,8 @@ func (b *Balancer) insert(k uint64, dst uint32) {
 				break
 			}
 		}
-		var val [4]byte
-		binary.LittleEndian.PutUint32(val[:], b.hot[victim])
-		if err := b.spill.Put(keyBytes(victim), val[:]); err == nil {
+		binary.LittleEndian.PutUint32(b.vbuf[:], b.hot[victim])
+		if err := b.spill.Put(b.keyBytes(victim), b.vbuf[:]); err == nil {
 			b.Spills++
 			delete(b.hot, victim)
 		} else {

@@ -254,7 +254,7 @@ func (w *PageWalker) Translate(page uint64) sim.Duration {
 	var cost sim.Duration
 	// Levels are keyed by progressively coarser prefixes (PML4, PDPT,
 	// PD); the leaf PTE always costs a DRAM access.
-	for _, shift := range []uint{27, 18, 9} {
+	for _, shift := range walkShifts {
 		key := page >> shift
 		if w.pwc.get(key) {
 			w.PWCHits++
@@ -268,44 +268,101 @@ func (w *PageWalker) Translate(page uint64) sim.Duration {
 	return cost
 }
 
+// walkShifts keys the three upper walk levels by progressively coarser
+// page-number prefixes (PML4, PDPT, PD).
+var walkShifts = [3]uint{27, 18, 9}
+
 // lru is a small presence-only LRU (same scheme as seg's descriptor
-// cache, duplicated to keep packages decoupled).
+// cache, duplicated to keep packages decoupled). The recency order is an
+// index-linked list over a node arena, so get and put are O(1) with no
+// steady-state allocation; eviction order is identical to the textbook
+// list form (front = LRU, back = MRU).
 type lru struct {
-	cap   int
-	order []uint64
-	set   map[uint64]bool
+	cap        int
+	idx        map[uint64]int32
+	nodes      []lruNode
+	head, tail int32 // head = LRU, tail = MRU; -1 when empty
+	freeList   int32 // recycled node indexes, chained via next
 }
 
-func newLRU(cap int) *lru { return &lru{cap: cap, set: make(map[uint64]bool, cap)} }
+type lruNode struct {
+	key        uint64
+	prev, next int32
+}
+
+func newLRU(cap int) *lru {
+	return &lru{
+		cap:      cap,
+		idx:      make(map[uint64]int32, cap),
+		head:     -1,
+		tail:     -1,
+		freeList: -1,
+	}
+}
 
 func (c *lru) get(k uint64) bool {
-	if !c.set[k] {
+	i, ok := c.idx[k]
+	if !ok {
 		return false
 	}
-	c.touch(k)
+	c.moveBack(i)
 	return true
 }
 
 func (c *lru) put(k uint64) {
-	if c.set[k] {
-		c.touch(k)
+	if i, ok := c.idx[k]; ok {
+		c.moveBack(i)
 		return
 	}
-	if len(c.order) >= c.cap {
-		victim := c.order[0]
-		c.order = c.order[1:]
-		delete(c.set, victim)
+	if len(c.idx) >= c.cap {
+		v := c.head
+		c.unlink(v)
+		delete(c.idx, c.nodes[v].key)
+		c.nodes[v].next = c.freeList
+		c.freeList = v
 	}
-	c.order = append(c.order, k)
-	c.set[k] = true
+	var i int32
+	if c.freeList >= 0 {
+		i = c.freeList
+		c.freeList = c.nodes[i].next
+		c.nodes[i] = lruNode{key: k}
+	} else {
+		c.nodes = append(c.nodes, lruNode{key: k})
+		i = int32(len(c.nodes) - 1)
+	}
+	c.pushBack(i)
+	c.idx[k] = i
 }
 
-func (c *lru) touch(k uint64) {
-	for i, v := range c.order {
-		if v == k {
-			c.order = append(c.order[:i], c.order[i+1:]...)
-			c.order = append(c.order, k)
-			return
-		}
+func (c *lru) unlink(i int32) {
+	n := &c.nodes[i]
+	if n.prev >= 0 {
+		c.nodes[n.prev].next = n.next
+	} else {
+		c.head = n.next
 	}
+	if n.next >= 0 {
+		c.nodes[n.next].prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+}
+
+func (c *lru) pushBack(i int32) {
+	n := &c.nodes[i]
+	n.prev, n.next = c.tail, -1
+	if c.tail >= 0 {
+		c.nodes[c.tail].next = i
+	} else {
+		c.head = i
+	}
+	c.tail = i
+}
+
+func (c *lru) moveBack(i int32) {
+	if c.tail == i {
+		return
+	}
+	c.unlink(i)
+	c.pushBack(i)
 }

@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// ReadJSON loads a previously written BENCH_*.json report.
+func ReadJSON(path string) (Report, error) {
+	var rep Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// CompareRow is one experiment's old-vs-new delta.
+type CompareRow struct {
+	ID         string
+	OldWallMS  float64
+	NewWallMS  float64
+	OldAllocs  int64
+	NewAllocs  int64
+	OldHash    string
+	NewHash    string
+	HashMatch  bool
+	OldMissing bool // experiment absent from the old report
+	NewMissing bool // experiment absent from the new report
+}
+
+// Comparison is a full old-vs-new report diff.
+type Comparison struct {
+	Rows           []CompareRow
+	OldTotalWallMS float64
+	NewTotalWallMS float64
+	HashMismatches int
+}
+
+// Compare diffs two reports experiment by experiment, keyed on ID, in
+// the new report's order; experiments present only in the old report
+// are appended at the end. A row with either side missing never counts
+// as a hash mismatch — only a present-on-both-sides hash difference
+// does, since that is what signals a semantics change.
+func Compare(old, cur Report) Comparison {
+	cmp := Comparison{
+		OldTotalWallMS: old.TotalWallMS,
+		NewTotalWallMS: cur.TotalWallMS,
+	}
+	oldByID := make(map[string]Record, len(old.Results))
+	for _, r := range old.Results {
+		oldByID[r.ID] = r
+	}
+	seen := make(map[string]bool, len(cur.Results))
+	for _, n := range cur.Results {
+		seen[n.ID] = true
+		row := CompareRow{
+			ID:        n.ID,
+			NewWallMS: n.WallMS,
+			NewAllocs: n.Allocs,
+			NewHash:   n.TableSHA256,
+		}
+		if o, ok := oldByID[n.ID]; ok {
+			row.OldWallMS = o.WallMS
+			row.OldAllocs = o.Allocs
+			row.OldHash = o.TableSHA256
+			row.HashMatch = o.TableSHA256 == n.TableSHA256
+			if !row.HashMatch {
+				cmp.HashMismatches++
+			}
+		} else {
+			row.OldMissing = true
+		}
+		cmp.Rows = append(cmp.Rows, row)
+	}
+	for _, o := range old.Results {
+		if !seen[o.ID] {
+			cmp.Rows = append(cmp.Rows, CompareRow{
+				ID:         o.ID,
+				OldWallMS:  o.WallMS,
+				OldAllocs:  o.Allocs,
+				OldHash:    o.TableSHA256,
+				NewMissing: true,
+			})
+		}
+	}
+	return cmp
+}
+
+// String renders the delta table.
+func (c Comparison) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-5s %10s %10s %8s  %12s %12s %8s  %s\n",
+		"exp", "old ms", "new ms", "wall", "old allocs", "new allocs", "allocs", "hash")
+	for _, r := range c.Rows {
+		switch {
+		case r.OldMissing:
+			fmt.Fprintf(&b, "%-5s %10s %10.1f %8s  %12s %12d %8s  %s\n",
+				r.ID, "-", r.NewWallMS, "new", "-", r.NewAllocs, "new", "new")
+		case r.NewMissing:
+			fmt.Fprintf(&b, "%-5s %10.1f %10s %8s  %12d %12s %8s  %s\n",
+				r.ID, r.OldWallMS, "-", "gone", r.OldAllocs, "-", "gone", "gone")
+		default:
+			hash := "ok"
+			if !r.HashMatch {
+				hash = "MISMATCH"
+			}
+			fmt.Fprintf(&b, "%-5s %10.1f %10.1f %8s  %12d %12d %8s  %s\n",
+				r.ID, r.OldWallMS, r.NewWallMS, ratio(r.OldWallMS, r.NewWallMS),
+				r.OldAllocs, r.NewAllocs, ratio(float64(r.OldAllocs), float64(r.NewAllocs)), hash)
+		}
+	}
+	fmt.Fprintf(&b, "%-5s %10.1f %10.1f %8s\n",
+		"total", c.OldTotalWallMS, c.NewTotalWallMS, ratio(c.OldTotalWallMS, c.NewTotalWallMS))
+	if c.HashMismatches > 0 {
+		fmt.Fprintf(&b, "HASH MISMATCH on %d experiment(s): output tables changed\n", c.HashMismatches)
+	}
+	return b.String()
+}
+
+// ratio formats new/old as a speedup-style factor ("0.42x" = new costs
+// 42% of old). Alloc counts of -1 (unattributed parallel runs) and
+// zero baselines render as "-".
+func ratio(old, new float64) string {
+	if old <= 0 || new < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2fx", new/old)
+}

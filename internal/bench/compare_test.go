@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCompareDetectsMismatchAndMembership(t *testing.T) {
+	old := Report{TotalWallMS: 100, Results: []Record{
+		{ID: "E1", WallMS: 10, Allocs: 100, TableSHA256: "aaa"},
+		{ID: "E2", WallMS: 20, Allocs: 200, TableSHA256: "bbb"},
+		{ID: "E3", WallMS: 30, Allocs: 300, TableSHA256: "ccc"},
+	}}
+	cur := Report{TotalWallMS: 50, Results: []Record{
+		{ID: "E1", WallMS: 5, Allocs: 50, TableSHA256: "aaa"},
+		{ID: "E2", WallMS: 10, Allocs: 100, TableSHA256: "XXX"},
+		{ID: "E4", WallMS: 1, Allocs: 10, TableSHA256: "ddd"},
+	}}
+	cmp := Compare(old, cur)
+	if cmp.HashMismatches != 1 {
+		t.Fatalf("HashMismatches = %d, want 1 (E2 only; new/gone rows don't count)", cmp.HashMismatches)
+	}
+	if len(cmp.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (E1 E2 E4 then gone E3)", len(cmp.Rows))
+	}
+	if !cmp.Rows[0].HashMatch || cmp.Rows[1].HashMatch {
+		t.Fatalf("hash match flags wrong: E1=%v E2=%v", cmp.Rows[0].HashMatch, cmp.Rows[1].HashMatch)
+	}
+	if !cmp.Rows[2].OldMissing || cmp.Rows[2].ID != "E4" {
+		t.Fatalf("row 2 should be new-only E4, got %+v", cmp.Rows[2])
+	}
+	if !cmp.Rows[3].NewMissing || cmp.Rows[3].ID != "E3" {
+		t.Fatalf("row 3 should be gone E3, got %+v", cmp.Rows[3])
+	}
+	s := cmp.String()
+	for _, want := range []string{"MISMATCH", "0.50x", "total"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCompareCleanRun(t *testing.T) {
+	rep := Report{TotalWallMS: 10, Results: []Record{
+		{ID: "E1", WallMS: 10, Allocs: -1, TableSHA256: "aaa"},
+	}}
+	cmp := Compare(rep, rep)
+	if cmp.HashMismatches != 0 {
+		t.Fatalf("self-compare reported %d mismatches", cmp.HashMismatches)
+	}
+	if s := cmp.String(); strings.Contains(s, "MISMATCH") {
+		t.Fatalf("clean compare rendered a mismatch:\n%s", s)
+	}
+}

@@ -107,17 +107,17 @@ func (o RunOutcome) ToRecord() Record {
 	return rec
 }
 
-// jsonReport is the top-level shape of a BENCH_*.json file.
-type jsonReport struct {
+// Report is the top-level shape of a BENCH_*.json file.
+type Report struct {
 	Schema      string   `json:"schema"`
 	Workers     int      `json:"workers"`
 	TotalWallMS float64  `json:"total_wall_ms"`
 	Results     []Record `json:"results"`
 }
 
-// WriteJSON writes outcomes as a machine-readable report to path.
-func WriteJSON(path string, workers int, totalWall time.Duration, outs []RunOutcome) error {
-	rep := jsonReport{
+// MakeReport assembles the in-memory report for outcomes.
+func MakeReport(workers int, totalWall time.Duration, outs []RunOutcome) Report {
+	rep := Report{
 		Schema:      "hyperion-bench/v1",
 		Workers:     workers,
 		TotalWallMS: float64(totalWall.Microseconds()) / 1000,
@@ -125,7 +125,12 @@ func WriteJSON(path string, workers int, totalWall time.Duration, outs []RunOutc
 	for _, o := range outs {
 		rep.Results = append(rep.Results, o.ToRecord())
 	}
-	data, err := json.MarshalIndent(rep, "", "  ")
+	return rep
+}
+
+// WriteJSON writes outcomes as a machine-readable report to path.
+func WriteJSON(path string, workers int, totalWall time.Duration, outs []RunOutcome) error {
+	data, err := json.MarshalIndent(MakeReport(workers, totalWall, outs), "", "  ")
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,472 @@
+package ebpf
+
+// Fallible compiled operations: memory accesses, atomics, and helper
+// calls. Loads and stores carry inline fast paths for the two
+// statically-known regions (context and stack); anything else falls back
+// to the interpreter's resolve for exact error behaviour. Error paths
+// refund only vm.Steps — runCompiled folds the run's step count into
+// TotalSteps once, at its return sites.
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// compileLoad specializes one LDX by access size, with inline ctx/stack
+// fast paths. The double bounds check (o < len && o+size <= len) is
+// wrap-safe: the first test bounds o, so the second cannot overflow.
+func compileLoad(ins Instruction, overshoot int64) fallOp {
+	d, s, off := ins.Dst, ins.Src, uint64(int64(ins.Off))
+	size := uint64(ins.SizeBytes())
+	switch size {
+	case 1:
+		return func(vm *VM, r *regFile) error {
+			a := r[s&15] + off
+			if o := a - ctxBase; o < uint64(len(vm.ctx)) {
+				r[d&15] = uint64(vm.ctx[o])
+				return nil
+			}
+			if o := a - stackBase; o < StackSize {
+				r[d&15] = uint64(vm.stack[o])
+				return nil
+			}
+			v, err := vm.memLoad(a, 1)
+			if err != nil {
+				vm.Steps -= overshoot
+				return err
+			}
+			r[d&15] = v
+			return nil
+		}
+	case 2:
+		return func(vm *VM, r *regFile) error {
+			a := r[s&15] + off
+			if o := a - ctxBase; o < uint64(len(vm.ctx)) && o+2 <= uint64(len(vm.ctx)) {
+				r[d&15] = uint64(binary.LittleEndian.Uint16(vm.ctx[o:]))
+				return nil
+			}
+			if o := a - stackBase; o < StackSize && o+2 <= StackSize {
+				r[d&15] = uint64(binary.LittleEndian.Uint16(vm.stack[o:]))
+				return nil
+			}
+			v, err := vm.memLoad(a, 2)
+			if err != nil {
+				vm.Steps -= overshoot
+				return err
+			}
+			r[d&15] = v
+			return nil
+		}
+	case 4:
+		return func(vm *VM, r *regFile) error {
+			a := r[s&15] + off
+			if o := a - ctxBase; o < uint64(len(vm.ctx)) && o+4 <= uint64(len(vm.ctx)) {
+				r[d&15] = uint64(binary.LittleEndian.Uint32(vm.ctx[o:]))
+				return nil
+			}
+			if o := a - stackBase; o < StackSize && o+4 <= StackSize {
+				r[d&15] = uint64(binary.LittleEndian.Uint32(vm.stack[o:]))
+				return nil
+			}
+			v, err := vm.memLoad(a, 4)
+			if err != nil {
+				vm.Steps -= overshoot
+				return err
+			}
+			r[d&15] = v
+			return nil
+		}
+	default:
+		return func(vm *VM, r *regFile) error {
+			a := r[s&15] + off
+			if o := a - ctxBase; o < uint64(len(vm.ctx)) && o+8 <= uint64(len(vm.ctx)) {
+				r[d&15] = binary.LittleEndian.Uint64(vm.ctx[o:])
+				return nil
+			}
+			if o := a - stackBase; o < StackSize && o+8 <= StackSize {
+				r[d&15] = binary.LittleEndian.Uint64(vm.stack[o:])
+				return nil
+			}
+			v, err := vm.memLoad(a, 8)
+			if err != nil {
+				vm.Steps -= overshoot
+				return err
+			}
+			r[d&15] = v
+			return nil
+		}
+	}
+}
+
+// compileStore specializes a store (register or immediate source) by
+// size, with the same inline fast paths as loads. The stack fast path
+// must clear stackClean — the interpreter's entry memclr becomes
+// observable once anything writes to the stack.
+func compileStore(d uint8, off uint64, size int, src func(r *regFile) uint64, overshoot int64) fallOp {
+	sz := uint64(size)
+	return func(vm *VM, r *regFile) error {
+		a := r[d&15] + off
+		v := src(r)
+		if o := a - ctxBase; o < uint64(len(vm.ctx)) && o+sz <= uint64(len(vm.ctx)) {
+			storeLE(vm.ctx[o:], size, v)
+			return nil
+		}
+		if o := a - stackBase; o < StackSize && o+sz <= StackSize {
+			vm.stackClean = false
+			storeLE(vm.stack[o:], size, v)
+			return nil
+		}
+		if err := vm.memStore(a, size, v); err != nil {
+			vm.Steps -= overshoot
+			return err
+		}
+		return nil
+	}
+}
+
+func storeLE(b []byte, size int, v uint64) {
+	switch size {
+	case 1:
+		b[0] = byte(v)
+	case 2:
+		binary.LittleEndian.PutUint16(b, uint16(v))
+	case 4:
+		binary.LittleEndian.PutUint32(b, uint32(v))
+	default:
+		binary.LittleEndian.PutUint64(b, v)
+	}
+}
+
+func compileStoreReg(ins Instruction, overshoot int64) fallOp {
+	s := ins.Src
+	return compileStore(ins.Dst, uint64(int64(ins.Off)), ins.SizeBytes(),
+		func(r *regFile) uint64 { return r[s&15] }, overshoot)
+}
+
+func compileStoreImm(ins Instruction, overshoot int64) fallOp {
+	v := uint64(int64(ins.Imm))
+	return compileStore(ins.Dst, uint64(int64(ins.Off)), ins.SizeBytes(),
+		func(r *regFile) uint64 { return v }, overshoot)
+}
+
+// loadElem is one member of a fused load group.
+type loadElem struct {
+	dst       uint8
+	off       uint64 // sign-extended displacement (wrapping add)
+	rel       int    // byte offset within the group's resolved span
+	size      int
+	overshoot int64
+}
+
+type loadGroup struct {
+	op    fallOp
+	count int
+}
+
+// compileLoadGroup fuses a run of consecutive LDX instructions off the
+// same unmodified base register into one bounds resolve. The combined
+// span gets the same ctx/stack fast paths as single loads; if it fails
+// to resolve as a unit (e.g. loads landing in two different windows),
+// the group falls back to per-load execution with exact interpreter
+// semantics.
+func compileLoadGroup(prog []Instruction, blockStart, i, bodyEnd int, blockInsns int64) loadGroup {
+	first := prog[i]
+	if first.Class() != ClassLDX || first.SizeBytes() == 0 {
+		return loadGroup{}
+	}
+	src := first.Src
+	count := 0
+	for j := i; j < bodyEnd; j++ {
+		ins := prog[j]
+		if ins.Class() != ClassLDX || ins.SizeBytes() == 0 || ins.Src != src {
+			break
+		}
+		count++
+		if ins.Dst == src {
+			break // base clobbered; later loads use the new value
+		}
+	}
+	if count < 2 {
+		return loadGroup{}
+	}
+	elems := make([]loadElem, count)
+	minOff, maxEnd := int64(0), int64(0)
+	for k := 0; k < count; k++ {
+		ins := prog[i+k]
+		o := int64(ins.Off)
+		elems[k] = loadElem{
+			dst:       ins.Dst,
+			off:       uint64(o),
+			size:      ins.SizeBytes(),
+			overshoot: blockInsns - int64(i+k-blockStart+1),
+		}
+		if k == 0 || o < minOff {
+			minOff = o
+		}
+		if e := o + int64(ins.SizeBytes()); k == 0 || e > maxEnd {
+			maxEnd = e
+		}
+	}
+	for k := range elems {
+		elems[k].rel = int(int64(elems[k].off) - minOff)
+	}
+	base := uint64(minOff)
+	span := uint64(maxEnd - minOff)
+	op := func(vm *VM, r *regFile) error {
+		a := r[src&15] + base
+		var buf []byte
+		if o := a - ctxBase; o < uint64(len(vm.ctx)) && o+span <= uint64(len(vm.ctx)) {
+			buf = vm.ctx[o:]
+		} else if o := a - stackBase; o < StackSize && o+span <= StackSize {
+			buf = vm.stack[o:]
+		} else {
+			b, _, err := vm.resolve(a, int(span))
+			if err != nil {
+				return loadGroupSlow(vm, r, src, elems)
+			}
+			buf = b
+		}
+		for k := range elems {
+			e := &elems[k]
+			switch e.size {
+			case 1:
+				r[e.dst&15] = uint64(buf[e.rel])
+			case 2:
+				r[e.dst&15] = uint64(binary.LittleEndian.Uint16(buf[e.rel:]))
+			case 4:
+				r[e.dst&15] = uint64(binary.LittleEndian.Uint32(buf[e.rel:]))
+			default:
+				r[e.dst&15] = binary.LittleEndian.Uint64(buf[e.rel:])
+			}
+		}
+		return nil
+	}
+	return loadGroup{op: op, count: count}
+}
+
+// loadGroupSlow replays a load group one access at a time — the
+// reference semantics when the fused span does not resolve as a unit.
+func loadGroupSlow(vm *VM, r *regFile, src uint8, elems []loadElem) error {
+	for k := range elems {
+		e := &elems[k]
+		v, err := vm.memLoad(r[src&15]+e.off, e.size)
+		if err != nil {
+			vm.Steps -= e.overshoot
+			return err
+		}
+		r[e.dst&15] = v
+	}
+	return nil
+}
+
+// compileAtomic lowers an atomic RMW, replicating the interpreter's
+// exact check order (width, load, op selector, store).
+func compileAtomic(ins Instruction, overshoot int64) fallOp {
+	size := ins.SizeBytes()
+	if size != 4 && size != 8 {
+		return errOp(fmt.Errorf("%w: atomic width %d", ErrBadInstruction, size), overshoot)
+	}
+	d, s, off, sel := ins.Dst, ins.Src, uint64(int64(ins.Off)), ins.Imm
+	return func(vm *VM, r *regFile) error {
+		fail := func(err error) error {
+			vm.Steps -= overshoot
+			return err
+		}
+		addr := r[d&15] + off
+		old, err := vm.memLoad(addr, size)
+		if err != nil {
+			return fail(err)
+		}
+		src := r[s&15]
+		if size == 4 {
+			src = uint64(uint32(src))
+		}
+		var newVal uint64
+		writeBack := true
+		switch sel {
+		case AtomicAdd, AtomicAdd | AtomicFetch:
+			newVal = old + src
+		case AtomicOr, AtomicOr | AtomicFetch:
+			newVal = old | src
+		case AtomicAnd, AtomicAnd | AtomicFetch:
+			newVal = old & src
+		case AtomicXor, AtomicXor | AtomicFetch:
+			newVal = old ^ src
+		case AtomicXchg:
+			newVal = src
+		case AtomicCmpXchg:
+			cmp := r[R0]
+			if size == 4 {
+				cmp = uint64(uint32(cmp))
+			}
+			if old == cmp {
+				newVal = src
+			} else {
+				writeBack = false
+			}
+			r[R0] = old
+		default:
+			return fail(fmt.Errorf("%w: atomic op %#x", ErrBadInstruction, sel))
+		}
+		if writeBack {
+			if err := vm.memStore(addr, size, newVal); err != nil {
+				return fail(err)
+			}
+		}
+		if sel&AtomicFetch != 0 && sel != AtomicCmpXchg {
+			r[s&15] = old
+		}
+		return nil
+	}
+}
+
+// compileCall lowers a helper call. The helper binding is devirtualized
+// at compile time (Load and RegisterHelper invalidate the artifact);
+// the still-builtin map/time/trace helpers get direct fast paths that
+// skip the generic dispatch and the defensive key copies.
+func compileCall(vm *VM, ins Instruction, overshoot int64) fallOp {
+	id := ins.Imm
+	h, ok := vm.helpers[id]
+	if !ok {
+		return errOp(fmt.Errorf("%w: id %d", ErrUnknownHelper, id), overshoot)
+	}
+	if vm.builtin[id] {
+		switch id {
+		case HelperMapLookup:
+			return fastMapLookup(overshoot)
+		case HelperMapUpdate:
+			return fastMapUpdate(overshoot)
+		case HelperMapDelete:
+			return fastMapDelete(overshoot)
+		case HelperKtime:
+			return func(vm *VM, r *regFile) error {
+				vm.HelperCalls++
+				var now uint64
+				if vm.Now != nil {
+					now = vm.Now()
+				} else {
+					vm.fakeNow++
+					now = vm.fakeNow
+				}
+				r[R0] = now
+				r[R1], r[R2], r[R3], r[R4], r[R5] = 0, 0, 0, 0, 0
+				return nil
+			}
+		case HelperTrace:
+			return func(vm *VM, r *regFile) error {
+				vm.HelperCalls++
+				if vm.Trace != nil {
+					vm.Trace(r[R1])
+				}
+				r[R0] = 0
+				r[R1], r[R2], r[R3], r[R4], r[R5] = 0, 0, 0, 0, 0
+				return nil
+			}
+		}
+	}
+	name, fn := h.Name, h.Fn
+	return func(vm *VM, r *regFile) error {
+		vm.HelperCalls++
+		ret, err := fn(vm, [5]uint64{r[R1], r[R2], r[R3], r[R4], r[R5]})
+		if err != nil {
+			vm.Steps -= overshoot
+			return fmt.Errorf("ebpf: helper %s: %w", name, err)
+		}
+		r[R0] = ret
+		r[R1], r[R2], r[R3], r[R4], r[R5] = 0, 0, 0, 0, 0
+		return nil
+	}
+}
+
+// helperArgBytes resolves a helper's pointer argument. The built-in
+// maps (HashMap, ArrayMap) never retain key/value slices, so they can
+// read program memory in place; unknown Map implementations get the
+// interpreter's defensive copy.
+func helperArgBytes(vm *VM, m Map, addr uint64, size int) ([]byte, error) {
+	switch m.(type) {
+	case *HashMap, *ArrayMap:
+		b, _, err := vm.resolve(addr, size)
+		return b, err
+	default:
+		return vm.ReadBytes(addr, size)
+	}
+}
+
+func fastMapLookup(overshoot int64) fallOp {
+	return func(vm *VM, r *regFile) error {
+		vm.HelperCalls++
+		fail := func(err error) error {
+			vm.Steps -= overshoot
+			return fmt.Errorf("ebpf: helper map_lookup_elem: %w", err)
+		}
+		m, err := vm.Maps.Get(int(r[R1]))
+		if err != nil {
+			return fail(err)
+		}
+		key, err := helperArgBytes(vm, m, r[R2], m.KeySize())
+		if err != nil {
+			return fail(err)
+		}
+		var ret uint64
+		if val, ok := m.Lookup(key); ok {
+			ret = vm.AddWindow(val, true)
+		}
+		r[R0] = ret
+		r[R1], r[R2], r[R3], r[R4], r[R5] = 0, 0, 0, 0, 0
+		return nil
+	}
+}
+
+func fastMapUpdate(overshoot int64) fallOp {
+	return func(vm *VM, r *regFile) error {
+		vm.HelperCalls++
+		fail := func(err error) error {
+			vm.Steps -= overshoot
+			return fmt.Errorf("ebpf: helper map_update_elem: %w", err)
+		}
+		m, err := vm.Maps.Get(int(r[R1]))
+		if err != nil {
+			return fail(err)
+		}
+		key, err := helperArgBytes(vm, m, r[R2], m.KeySize())
+		if err != nil {
+			return fail(err)
+		}
+		val, err := helperArgBytes(vm, m, r[R3], m.ValueSize())
+		if err != nil {
+			return fail(err)
+		}
+		var ret uint64
+		if m.Update(key, val) != nil {
+			ret = ^uint64(0) // -1: full or invalid
+		}
+		r[R0] = ret
+		r[R1], r[R2], r[R3], r[R4], r[R5] = 0, 0, 0, 0, 0
+		return nil
+	}
+}
+
+func fastMapDelete(overshoot int64) fallOp {
+	return func(vm *VM, r *regFile) error {
+		vm.HelperCalls++
+		fail := func(err error) error {
+			vm.Steps -= overshoot
+			return fmt.Errorf("ebpf: helper map_delete_elem: %w", err)
+		}
+		m, err := vm.Maps.Get(int(r[R1]))
+		if err != nil {
+			return fail(err)
+		}
+		key, err := helperArgBytes(vm, m, r[R2], m.KeySize())
+		if err != nil {
+			return fail(err)
+		}
+		var ret uint64
+		if !m.Delete(key) {
+			ret = ^uint64(0)
+		}
+		r[R0] = ret
+		r[R1], r[R2], r[R3], r[R4], r[R5] = 0, 0, 0, 0, 0
+		return nil
+	}
+}

@@ -1,0 +1,461 @@
+package ebpf
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// The compiled backend's contract is bit-identical semantics with the
+// interpreter. These tests enforce it differentially: every program —
+// handcrafted, assembled, or randomly generated — runs on both backends
+// and must agree on result, error text, step/helper accounting, final
+// context bytes, and final map contents.
+
+// diffMaps builds one MapSet instance for a differential run; called
+// once per backend so each VM owns an identical, independent copy.
+func diffMaps() *MapSet {
+	ms := &MapSet{}
+	h := NewHashMap(8, 8, 4)
+	k := make([]byte, 8)
+	v := make([]byte, 8)
+	binary.LittleEndian.PutUint64(k, 0xfeed)
+	binary.LittleEndian.PutUint64(v, 0xbeef)
+	if err := h.Update(k, v); err != nil {
+		panic(err)
+	}
+	ms.Add(h)
+	a := NewArrayMap(8, 4)
+	binary.LittleEndian.PutUint64(v, 77)
+	ak := make([]byte, 4)
+	binary.LittleEndian.PutUint32(ak, 1)
+	if err := a.Update(ak, v); err != nil {
+		panic(err)
+	}
+	ms.Add(a)
+	return ms
+}
+
+// dumpMaps serializes a MapSet's full contents for equality checks.
+func dumpMaps(ms *MapSet) string {
+	var b bytes.Buffer
+	for i := 0; i < ms.Len(); i++ {
+		m, err := ms.Get(i)
+		if err != nil {
+			fmt.Fprintf(&b, "map%d:err=%v;", i, err)
+			continue
+		}
+		fmt.Fprintf(&b, "map%d(len=%d):", i, m.Len())
+		switch mm := m.(type) {
+		case *HashMap:
+			mm.Iterate(func(k, v []byte) bool {
+				fmt.Fprintf(&b, "%x=%x;", k, v)
+				return true
+			})
+		case *ArrayMap:
+			key := make([]byte, 4)
+			for j := 0; ; j++ {
+				binary.LittleEndian.PutUint32(key, uint32(j))
+				v, ok := mm.Lookup(key)
+				if !ok {
+					break
+				}
+				fmt.Fprintf(&b, "[%d]=%x;", j, v)
+			}
+		}
+	}
+	return b.String()
+}
+
+// diffRun executes prog on both backends (fresh VM per backend,
+// identical seeded maps) and fails the test on any observable
+// divergence. Each program runs twice per backend to exercise compiled
+// artifact reuse and the stack-clean fast path.
+func diffRun(t *testing.T, name string, prog []Instruction, ctx []byte, wantCompiled bool) {
+	t.Helper()
+	vi := NewVM(diffMaps())
+	vc := NewVM(diffMaps())
+	if err := vi.Load(prog); err != nil {
+		t.Fatalf("%s: interp load: %v", name, err)
+	}
+	if err := vc.Load(prog); err != nil {
+		t.Fatalf("%s: compiled load: %v", name, err)
+	}
+	if got := vc.Precompile(); wantCompiled && !got {
+		t.Fatalf("%s: program unexpectedly fell back to the interpreter", name)
+	}
+	for round := 0; round < 2; round++ {
+		ctxI := append([]byte(nil), ctx...)
+		ctxC := append([]byte(nil), ctx...)
+		vi.ResetWindows()
+		vc.ResetWindows()
+		retI, errI := vi.RunInterpreted(ctxI)
+		retC, errC := vc.Run(ctxC)
+		if retI != retC {
+			t.Errorf("%s round %d: ret: interp=%#x compiled=%#x", name, round, retI, retC)
+		}
+		es := func(err error) string {
+			if err == nil {
+				return "<nil>"
+			}
+			return err.Error()
+		}
+		if es(errI) != es(errC) {
+			t.Errorf("%s round %d: err: interp=%q compiled=%q", name, round, es(errI), es(errC))
+		}
+		if vi.Steps != vc.Steps {
+			t.Errorf("%s round %d: Steps: interp=%d compiled=%d", name, round, vi.Steps, vc.Steps)
+		}
+		if vi.TotalSteps != vc.TotalSteps {
+			t.Errorf("%s round %d: TotalSteps: interp=%d compiled=%d", name, round, vi.TotalSteps, vc.TotalSteps)
+		}
+		if vi.HelperCalls != vc.HelperCalls {
+			t.Errorf("%s round %d: HelperCalls: interp=%d compiled=%d", name, round, vi.HelperCalls, vc.HelperCalls)
+		}
+		if !bytes.Equal(ctxI, ctxC) {
+			t.Errorf("%s round %d: final ctx diverged\ninterp:   %x\ncompiled: %x", name, round, ctxI, ctxC)
+		}
+		if di, dc := dumpMaps(vi.Maps), dumpMaps(vc.Maps); di != dc {
+			t.Errorf("%s round %d: map state diverged\ninterp:   %s\ncompiled: %s", name, round, di, dc)
+		}
+		if t.Failed() {
+			t.Fatalf("%s: aborting after first divergent round\nprogram:\n%s", name, Disassemble(prog))
+		}
+	}
+}
+
+// TestCompiledHandcrafted covers the fusion shapes and fault classes the
+// random generator cannot reliably hit: load groups that span regions,
+// load→compare→branch fusion, every error class, helper fast paths, and
+// division corner cases.
+func TestCompiledHandcrafted(t *testing.T) {
+	ctx := make([]byte, 64)
+	for i := range ctx {
+		ctx[i] = byte(i * 7)
+	}
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"exit-only", "mov r0, 42\nexit"},
+		{"alu-chain", "mov r0, 1\nadd r0, 9\nmul r0, 7\nsub r0, 3\nlsh r0, 4\nrsh r0, 2\narsh r0, 1\nneg r0\nxor r0, 255\nor r0, 16\nand r0, 4095\nexit"},
+		{"alu32-wrap", "mov32 r0, -1\nadd32 r0, 1\nmov32 r1, -5\nsub32 r0, -7\nmul32 r0, 3\nexit"},
+		{"div-mod-zero", "mov r0, 100\nmov r1, 0\ndiv r0, r1\nmov r2, 50\nmod r2, r1\nadd r0, r2\nexit"},
+		{"div-mod-zero-imm", "mov r0, 100\ndiv r0, 0\nmov r2, 50\nmod r2, 0\nadd r0, r2\nexit"},
+		{"shift-reg-mask", "mov r0, 1\nmov r1, 65\nlsh r0, r1\nmov r2, 1\nmov r3, 33\nlsh32 r2, r3\nadd r0, r2\nexit"},
+		{"endian", "mov r0, 0x1234\nbe16 r0\nmov r1, 0x12345678\nbe32 r1\nadd r0, r1\nle64 r0\nexit"},
+		{"lddw", "lddw r0, 0x123456789abcdef0\nlddw r1, -1\nadd r0, r1\nexit"},
+		{"ctx-loads", "ldxb r0, [r1+0]\nldxh r2, [r1+2]\nldxw r3, [r1+4]\nldxdw r4, [r1+8]\nadd r0, r2\nadd r0, r3\nadd r0, r4\nexit"},
+		{"load-group", "ldxw r2, [r1+0]\nldxw r3, [r1+4]\nldxh r4, [r1+8]\nldxh r5, [r1+10]\nxor r2, r3\nlsh r4, 16\nor r4, r5\nxor r2, r4\nmov r0, r2\nexit"},
+		{"load-group-clobber", "mov r6, r1\nldxw r2, [r6+0]\nldxw r6, [r6+4]\nadd r2, r6\nmov r0, r2\nexit"},
+		{"load-cmp-branch", "ldxh r2, [r1+10]\nmov r0, 0\njne r2, 22, out\nmov r0, 1\nout: exit"},
+		{"stack-rw", "mov r2, 0x7777\nstxdw [r10-8], r2\nstxh [r10-16], r2\nstdw [r10-24], 99\nldxdw r0, [r10-8]\nldxh r3, [r10-16]\nldxdw r4, [r10-24]\nadd r0, r3\nadd r0, r4\nexit"},
+		{"ctx-store", "mov r2, 0xab\nstxb [r1+0], r2\nstw [r1+4], -1\nldxw r0, [r1+0]\nexit"},
+		{"jumps-signed", "mov r0, -5\nmov r1, 3\njsgt r0, r1, big\nmov r0, 111\nexit\nbig: mov r0, 222\nexit"},
+		{"jump32-signed", "mov32 r0, -5\nmov32 r1, 3\njsgt32 r0, r1, big\nmov r0, 111\nexit\nbig: mov r0, 222\nexit"},
+		{"jset", "mov r0, 10\njset r0, 6, hit\nmov r0, 1\nexit\nhit: mov r0, 2\nexit"},
+		{"fallthrough-blocks", "mov r0, 0\njeq r0, 1, skip\nadd r0, 10\nskip: add r0, 100\nexit"},
+		{"ktime", "call 5\nmov r6, r0\ncall 5\nsub r0, r6\nexit"},
+		{"trace", "mov r1, 42\ncall 6\nmov r0, 7\nexit"},
+		{"map-lookup-hit", "stdw [r10-8], 0xfeed\nmov r1, 0\nmov r2, r10\nadd r2, -8\ncall 1\njne r0, 0, deref\nmov r0, 0\nexit\nderef: ldxdw r0, [r0+0]\nexit"},
+		{"map-lookup-miss", "stdw [r10-8], 0xdead\nmov r1, 0\nmov r2, r10\nadd r2, -8\ncall 1\nexit"},
+		{"map-update-delete", "stdw [r10-8], 0x1111\nstdw [r10-16], 0x2222\nmov r1, 0\nmov r2, r10\nadd r2, -8\nmov r3, r10\nadd r3, -16\ncall 2\nmov r6, r0\nmov r1, 0\nmov r2, r10\nadd r2, -8\ncall 3\nadd r0, r6\nexit"},
+		{"map-update-full", "stdw [r10-8], 0x1\nstdw [r10-16], 0x2\nmov r1, 0\nmov r2, r10\nadd r2, -8\nmov r3, r10\nadd r3, -16\ncall 2\nstdw [r10-8], 0x3\ncall 2\nstdw [r10-8], 0x4\ncall 2\nstdw [r10-8], 0x5\ncall 2\nstdw [r10-8], 0x6\ncall 2\nexit"},
+		{"array-map", "stw [r10-4], 1\nmov r1, 1\nmov r2, r10\nadd r2, -4\ncall 1\njne r0, 0, deref\nmov r0, 0\nexit\nderef: ldxdw r0, [r0+0]\nexit"},
+		{"atomic-add", "mov r2, 5\nstxdw [r10-8], r2\nmov r3, 3\nxadddw [r10-8], r3\nldxdw r0, [r10-8]\nexit"},
+		{"bad-mem-load", "mov r2, 0x999\nldxdw r0, [r2+0]\nexit"},
+		{"bad-mem-store", "mov r2, 0x999\nstxdw [r2+0], r2\nexit"},
+		{"oob-ctx", "ldxdw r0, [r1+60]\nexit"},
+		{"unknown-helper", "mov r0, 3\ncall 99\nexit"},
+		{"fell-off-end", "mov r0, 1\nadd r0, 1"},
+		{"fell-off-end-branch", "mov r0, 5\njeq r0, 5, over\nexit\nover: mov r0, 6"},
+		{"readonly-window-write", "stdw [r10-8], 0xfeed\nmov r1, 0\nmov r2, r10\nadd r2, -8\ncall 1\njne r0, 0, wr\nexit\nwr: mov r2, 9\nstxdw [r0+0], r2\nexit"},
+		{"helper-bad-key-ptr", "mov r1, 0\nmov r2, 0x42\ncall 1\nexit"},
+		{"helper-bad-map-id", "stdw [r10-8], 0x1\nmov r1, 9\nmov r2, r10\nadd r2, -8\ncall 1\nexit"},
+	}
+	for _, tc := range cases {
+		prog, err := Assemble(tc.src)
+		if err != nil {
+			t.Fatalf("%s: assemble: %v", tc.name, err)
+		}
+		diffRun(t, tc.name, prog, ctx, true)
+	}
+}
+
+// TestCompiledFaultInstructions feeds raw malformed instructions to both
+// backends: unsupported opcodes must fault lazily (only when reached)
+// with identical messages and step counts.
+func TestCompiledFaultInstructions(t *testing.T) {
+	cases := []struct {
+		name string
+		prog []Instruction
+	}{
+		{"bad-alu-op", []Instruction{Mov64Imm(R0, 1), {Op: ClassALU64 | 0xe0}, Exit()}},
+		{"bad-endian-width", []Instruction{Mov64Imm(R0, 1), Endian(R0, true, 48), Exit()}},
+		{"bad-ld-op", []Instruction{Mov64Imm(R0, 1), {Op: ClassLD | SizeW | ModeMEM}, Exit()}},
+		{"bad-atomic-width", []Instruction{Mov64Imm(R0, 1), Atomic(SizeB, R10, R0, -8, AtomicAdd), Exit()}},
+		{"bad-atomic-op", []Instruction{
+			Mov64Imm(R2, 1), StoreMem(SizeDW, R10, R2, -8),
+			Atomic(SizeDW, R10, R2, -8, 0x33), Exit(),
+		}},
+		{"unreached-bad-op", []Instruction{
+			Mov64Imm(R0, 9), JumpImm(JmpEq, R0, 9, 1),
+			{Op: ClassALU64 | 0xe0}, Exit(),
+		}},
+		{"atomic-cmpxchg", []Instruction{
+			Mov64Imm(R2, 5), StoreMem(SizeDW, R10, R2, -8),
+			Mov64Imm(R0, 5), Mov64Imm(R3, 11),
+			Atomic(SizeDW, R10, R3, -8, AtomicCmpXchg),
+			LoadMem(SizeDW, R4, R10, -8), ALU64Reg(ALUAdd, R0, R4), Exit(),
+		}},
+		{"atomic-fetch", []Instruction{
+			Mov64Imm(R2, 6), StoreMem(SizeW, R10, R2, -4),
+			Mov64Imm(R3, 7), Atomic(SizeW, R10, R3, -4, AtomicXor|AtomicFetch),
+			LoadMem(SizeW, R4, R10, -4), ALU64Reg(ALUAdd, R3, R4),
+			Mov64Reg(R0, R3), Exit(),
+		}},
+	}
+	ctx := make([]byte, 16)
+	for _, tc := range cases {
+		diffRun(t, tc.name, tc.prog, ctx, true)
+	}
+}
+
+// TestCompiledFallback pins the programs that must decline compilation
+// and run on the interpreter: back-edges (only the interpreter's step
+// limit bounds them) and the empty program.
+func TestCompiledFallback(t *testing.T) {
+	loop := []Instruction{Mov64Imm(R0, 0), ALU64Imm(ALUAdd, R0, 1), JumpImm(JmpLt, R0, 3, -2), Exit()}
+	vm := NewVM(nil)
+	if err := vm.Load(loop); err != nil {
+		t.Fatal(err)
+	}
+	if vm.Precompile() {
+		t.Fatal("back-edge program must not compile")
+	}
+	ret, err := vm.Run(nil)
+	if err != nil || ret != 3 {
+		t.Fatalf("loop via interpreter: ret=%d err=%v", ret, err)
+	}
+
+	vm2 := NewVM(nil)
+	if err := vm2.Load([]Instruction{}); err != nil {
+		t.Fatal(err)
+	}
+	if vm2.Precompile() {
+		t.Fatal("empty program must not compile")
+	}
+}
+
+// TestCompiledInvalidation checks that Load and RegisterHelper discard
+// the artifact: a rebound helper must take effect on the next Run.
+func TestCompiledInvalidation(t *testing.T) {
+	prog := MustAssemble("call 5\nexit")
+	vm := NewVM(nil)
+	if err := vm.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	if !vm.Precompile() {
+		t.Fatal("expected compiled")
+	}
+	if ret, err := vm.Run(nil); err != nil || ret != 1 {
+		t.Fatalf("fakeNow run: ret=%d err=%v", ret, err)
+	}
+	vm.RegisterHelper(HelperKtime, Helper{Name: "ktime_get_ns", Fn: func(vm *VM, a [5]uint64) (uint64, error) {
+		return 0xc0ffee, nil
+	}})
+	if ret, err := vm.Run(nil); err != nil || ret != 0xc0ffee {
+		t.Fatalf("rebound helper not picked up: ret=%#x err=%v", ret, err)
+	}
+	prog2 := MustAssemble("mov r0, 8\nexit")
+	if err := vm.Load(prog2); err != nil {
+		t.Fatal(err)
+	}
+	if ret, err := vm.Run(nil); err != nil || ret != 8 {
+		t.Fatalf("reload not picked up: ret=%d err=%v", ret, err)
+	}
+}
+
+// progGen generates random programs: forward-only control flow, a mix of
+// ALU/endian/LDDW/memory/jump/call instructions, including faulting and
+// chaotic ones. Both backends must agree on every generated program,
+// verified or not.
+type progGen struct {
+	rng     *rand.Rand
+	ctxSize int
+}
+
+var genALUOps = []uint8{ALUAdd, ALUSub, ALUMul, ALUDiv, ALUMod, ALUOr, ALUAnd, ALUXor, ALULsh, ALURsh, ALUArsh, ALUMov}
+
+// gen builds one random program. Jumps are generated in instruction
+// index space and fixed up to slot offsets afterwards (LDDW is two
+// slots).
+func (g *progGen) gen() []Instruction {
+	r := g.rng
+	n := 4 + r.Intn(40)
+	var prog []Instruction
+	jumps := map[int]int{} // insn index -> target insn index (fixed up later)
+	scratch := []uint8{R0, R2, R3, R4, R5, R6, R7, R8, R9}
+	reg := func() uint8 { return scratch[r.Intn(len(scratch))] }
+	sizes := []uint8{SizeB, SizeH, SizeW, SizeDW}
+	// Seed a few scalars so early reg-reg ops have data.
+	for _, d := range []uint8{R0, R3, R6} {
+		prog = append(prog, Mov64Imm(d, int32(r.Uint32())))
+	}
+	for len(prog) < n {
+		switch r.Intn(14) {
+		case 0: // alu64 imm
+			prog = append(prog, ALU64Imm(genALUOps[r.Intn(len(genALUOps))], reg(), int32(r.Uint32())))
+		case 1: // alu64 reg
+			op := genALUOps[r.Intn(len(genALUOps))]
+			prog = append(prog, ALU64Reg(op, reg(), reg()))
+		case 2: // alu32 imm / reg
+			op := genALUOps[r.Intn(len(genALUOps))]
+			ins := ALU64Imm(op, reg(), int32(r.Uint32()))
+			ins.Op = ins.Op&^uint8(0x07) | ClassALU
+			if r.Intn(2) == 0 {
+				ins = ALU64Reg(op, reg(), reg())
+				ins.Op = ins.Op&^uint8(0x07) | ClassALU
+			}
+			prog = append(prog, ins)
+		case 3: // neg
+			ins := ALU64Imm(ALUNeg, reg(), 0)
+			if r.Intn(2) == 0 {
+				ins.Op = ins.Op&^uint8(0x07) | ClassALU
+			}
+			prog = append(prog, ins)
+		case 4: // lddw
+			prog = append(prog, LoadImm64(reg(), int64(r.Uint64())))
+		case 5: // endian
+			widths := []int32{16, 32, 64}
+			prog = append(prog, Endian(reg(), r.Intn(2) == 0, widths[r.Intn(3)]))
+		case 6: // ctx load (usually in bounds; r1 may be clobbered by calls)
+			sz := sizes[r.Intn(4)]
+			off := int16(r.Intn(g.ctxSize))
+			prog = append(prog, LoadMem(sz, reg(), R1, off))
+		case 7: // consecutive ctx loads (load-group fodder)
+			k := 2 + r.Intn(3)
+			for j := 0; j < k; j++ {
+				sz := sizes[r.Intn(4)]
+				prog = append(prog, LoadMem(sz, reg(), R1, int16(r.Intn(g.ctxSize))))
+			}
+		case 8: // stack store + load back
+			sz := sizes[r.Intn(4)]
+			off := int16(-8 * (1 + r.Intn(8)))
+			if r.Intn(2) == 0 {
+				prog = append(prog, StoreMem(sz, R10, reg(), off))
+			} else {
+				prog = append(prog, StoreImm(sz, R10, off, int32(r.Uint32())))
+			}
+			prog = append(prog, LoadMem(sz, reg(), R10, off))
+		case 9: // ctx store
+			sz := sizes[r.Intn(4)]
+			prog = append(prog, StoreMem(sz, R1, reg(), int16(r.Intn(g.ctxSize))))
+		case 10: // forward conditional jump (target fixed up later)
+			jumps[len(prog)] = -1
+			ops := []uint8{JmpEq, JmpNe, JmpGt, JmpGe, JmpLt, JmpLe, JmpSet, JmpSGt, JmpSGe, JmpSLt, JmpSLe}
+			op := ops[r.Intn(len(ops))]
+			var ins Instruction
+			if r.Intn(2) == 0 {
+				ins = JumpImm(op, reg(), int32(r.Uint32()), 0)
+			} else {
+				ins = JumpReg(op, reg(), reg(), 0)
+			}
+			if r.Intn(4) == 0 {
+				ins.Op = ins.Op&^uint8(0x07) | ClassJMP32
+			}
+			prog = append(prog, ins)
+		case 11: // ja (forward)
+			jumps[len(prog)] = -1
+			prog = append(prog, Ja(0))
+		case 12: // helper call
+			ids := []int32{HelperKtime, HelperTrace, HelperKtime, HelperTrace, 99}
+			id := ids[r.Intn(len(ids))]
+			prog = append(prog, Call(id))
+		case 13: // map op macro: key on stack, call lookup/update/delete
+			var kimm int32
+			if r.Intn(2) == 0 {
+				kimm = 0xfeed // hits the seeded entry
+			} else {
+				kimm = int32(r.Intn(8))
+			}
+			prog = append(prog,
+				StoreImm(SizeDW, R10, -8, kimm),
+				StoreImm(SizeDW, R10, -16, int32(r.Uint32())),
+				Mov64Imm(R1, int32(r.Intn(2))),
+				Mov64Reg(R2, R10),
+				ALU64Imm(ALUAdd, R2, -8),
+			)
+			id := []int32{HelperMapLookup, HelperMapUpdate, HelperMapDelete}[r.Intn(3)]
+			if id == HelperMapUpdate {
+				prog = append(prog, Mov64Reg(R3, R10), ALU64Imm(ALUAdd, R3, -16))
+			}
+			prog = append(prog, Call(id))
+			if id == HelperMapLookup && r.Intn(2) == 0 {
+				// Null-checked deref of the returned value.
+				jumps[len(prog)] = -1
+				prog = append(prog, JumpImm(JmpEq, R0, 0, 0), LoadMem(SizeDW, R0, R0, 0))
+			}
+		}
+	}
+	prog = append(prog, Mov64Imm(R0, int32(r.Intn(100))), Exit())
+	// Fix up jumps: pick forward targets, then convert instruction
+	// indexes to slot-relative offsets.
+	slotOf := make([]int, len(prog)+1)
+	for i, ins := range prog {
+		slotOf[i+1] = slotOf[i] + 1
+		if ins.IsLDDW() {
+			slotOf[i+1]++
+		}
+	}
+	for i := range jumps {
+		target := i + 1 + r.Intn(len(prog)-i-1)
+		prog[i].Off = int16(slotOf[target] - slotOf[i] - 1)
+	}
+	return prog
+}
+
+// TestCompiledDifferentialRandom fuzzes both backends with seeded random
+// programs — any divergence in result, error, accounting, ctx bytes, or
+// map state fails with the offending disassembly.
+func TestCompiledDifferentialRandom(t *testing.T) {
+	const rounds = 3000
+	g := &progGen{rng: rand.New(rand.NewSource(0xeb9f)), ctxSize: 48}
+	ctx := make([]byte, g.ctxSize)
+	for i := range ctx {
+		ctx[i] = byte(i*13 + 1)
+	}
+	for i := 0; i < rounds; i++ {
+		prog := g.gen()
+		diffRun(t, fmt.Sprintf("random-%d", i), prog, ctx, true)
+	}
+}
+
+// TestCompiledDifferentialVerified narrows the fuzz corpus to programs
+// the verifier accepts — the population the compiled path serves in
+// production — and additionally requires them to run error-free on both
+// backends when they avoid chaotic memory ops.
+func TestCompiledDifferentialVerified(t *testing.T) {
+	const rounds = 2000
+	g := &progGen{rng: rand.New(rand.NewSource(0x5eed)), ctxSize: 48}
+	ctx := make([]byte, g.ctxSize)
+	for i := range ctx {
+		ctx[i] = byte(255 - i)
+	}
+	cfg := DefaultVerifierConfig(diffMaps())
+	cfg.CtxSize = g.ctxSize
+	accepted := 0
+	for i := 0; i < rounds; i++ {
+		prog := g.gen()
+		if Verify(prog, cfg) != nil {
+			continue
+		}
+		accepted++
+		diffRun(t, fmt.Sprintf("verified-%d", i), prog, ctx, true)
+	}
+	if accepted < 50 {
+		t.Fatalf("verifier accepted only %d/%d generated programs; generator too chaotic for this test to mean anything", accepted, rounds)
+	}
+}

@@ -1,0 +1,412 @@
+package ebpf
+
+// µops: the compiled backend's internal encoding for error-free
+// register-only instructions (ALU, endian, LDDW). A run of µops executes
+// inside a single switch loop with no per-instruction closure dispatch;
+// the same executor doubles as the compile-time constant evaluator, so
+// folded results cannot diverge from runtime results.
+//
+// Encoding notes (all resolved at lowering time):
+//   - immediates are sign-extended (64-bit forms) or truncated (32-bit
+//     forms) into iv;
+//   - shift-by-immediate amounts are pre-masked (&63 / &31);
+//   - div/mod by a constant zero folds to the ISA-defined result
+//     (div→0, mod→dst) before emission;
+//   - le16 lowers to kAndI 0xffff, le32 to kTrunc32, le64 to nothing.
+
+type uop struct {
+	k    uint8
+	d, s uint8
+	iv   uint64
+}
+
+// µop kinds. Grouped so operand-read predicates are range checks:
+// everything except kMovI reads d, everything from kMovR on reads s
+// (kMovR/kMov32R read only s).
+const (
+	kMovI uint8 = iota // r[d] = iv
+
+	// 64-bit, immediate operand; read and write d.
+	kAddI
+	kSubI
+	kMulI
+	kDivI // iv != 0 (zero folded at lowering)
+	kModI // iv != 0
+	kOrI
+	kAndI
+	kXorI
+	kLshI // iv pre-masked &63
+	kRshI
+	kArshI
+	kNeg64
+
+	// 32-bit, immediate operand; read and write d.
+	kAdd32I
+	kSub32I
+	kMul32I
+	kDiv32I // iv != 0
+	kMod32I // iv != 0
+	kOr32I
+	kAnd32I
+	kXor32I
+	kLsh32I // iv pre-masked &31
+	kRsh32I
+	kArsh32I
+	kNeg32
+	kTrunc32 // r[d] = uint64(uint32(r[d]))
+
+	// Endianness conversions; read and write d.
+	kBe16
+	kBe32
+	kBe64
+
+	// Register-operand forms; read s (kMovR/kMov32R do not read d).
+	kMovR
+	kMov32R
+
+	// 64-bit, register operand; read d and s.
+	kAddR
+	kSubR
+	kMulR
+	kDivR
+	kModR
+	kOrR
+	kAndR
+	kXorR
+	kLshR
+	kRshR
+	kArshR
+
+	// 32-bit, register operand; read d and s.
+	kAdd32R
+	kSub32R
+	kMul32R
+	kDiv32R
+	kMod32R
+	kOr32R
+	kAnd32R
+	kXor32R
+	kLsh32R
+	kRsh32R
+	kArsh32R
+)
+
+func uopReadsD(k uint8) bool { return k != kMovI && k != kMovR && k != kMov32R }
+func uopReadsS(k uint8) bool { return k >= kMovR }
+
+// runUops executes a µop run against the register file. It is both the
+// runtime executor and the compile-time constant evaluator.
+func runUops(r *regFile, ops []uop) {
+	for i := range ops {
+		op := &ops[i]
+		switch op.k {
+		case kMovI:
+			r[op.d&15] = op.iv
+		case kAddI:
+			r[op.d&15] += op.iv
+		case kSubI:
+			r[op.d&15] -= op.iv
+		case kMulI:
+			r[op.d&15] *= op.iv
+		case kDivI:
+			r[op.d&15] /= op.iv
+		case kModI:
+			r[op.d&15] %= op.iv
+		case kOrI:
+			r[op.d&15] |= op.iv
+		case kAndI:
+			r[op.d&15] &= op.iv
+		case kXorI:
+			r[op.d&15] ^= op.iv
+		case kLshI:
+			r[op.d&15] <<= op.iv
+		case kRshI:
+			r[op.d&15] >>= op.iv
+		case kArshI:
+			r[op.d&15] = uint64(int64(r[op.d&15]) >> op.iv)
+		case kNeg64:
+			r[op.d&15] = -r[op.d&15]
+
+		case kAdd32I:
+			r[op.d&15] = uint64(uint32(r[op.d&15]) + uint32(op.iv))
+		case kSub32I:
+			r[op.d&15] = uint64(uint32(r[op.d&15]) - uint32(op.iv))
+		case kMul32I:
+			r[op.d&15] = uint64(uint32(r[op.d&15]) * uint32(op.iv))
+		case kDiv32I:
+			r[op.d&15] = uint64(uint32(r[op.d&15]) / uint32(op.iv))
+		case kMod32I:
+			r[op.d&15] = uint64(uint32(r[op.d&15]) % uint32(op.iv))
+		case kOr32I:
+			r[op.d&15] = uint64(uint32(r[op.d&15]) | uint32(op.iv))
+		case kAnd32I:
+			r[op.d&15] = uint64(uint32(r[op.d&15]) & uint32(op.iv))
+		case kXor32I:
+			r[op.d&15] = uint64(uint32(r[op.d&15]) ^ uint32(op.iv))
+		case kLsh32I:
+			r[op.d&15] = uint64(uint32(r[op.d&15]) << uint32(op.iv))
+		case kRsh32I:
+			r[op.d&15] = uint64(uint32(r[op.d&15]) >> uint32(op.iv))
+		case kArsh32I:
+			r[op.d&15] = uint64(uint32(int32(uint32(r[op.d&15])) >> uint32(op.iv)))
+		case kNeg32:
+			r[op.d&15] = uint64(-uint32(r[op.d&15]))
+		case kTrunc32:
+			r[op.d&15] = uint64(uint32(r[op.d&15]))
+
+		case kBe16:
+			v := r[op.d&15] & 0xffff
+			r[op.d&15] = v>>8 | (v&0xff)<<8
+		case kBe32:
+			r[op.d&15] = uint64(byteSwap32(uint32(r[op.d&15])))
+		case kBe64:
+			r[op.d&15] = byteSwap64(r[op.d&15])
+
+		case kMovR:
+			r[op.d&15] = r[op.s&15]
+		case kMov32R:
+			r[op.d&15] = uint64(uint32(r[op.s&15]))
+
+		case kAddR:
+			r[op.d&15] += r[op.s&15]
+		case kSubR:
+			r[op.d&15] -= r[op.s&15]
+		case kMulR:
+			r[op.d&15] *= r[op.s&15]
+		case kDivR:
+			if sv := r[op.s&15]; sv == 0 {
+				r[op.d&15] = 0
+			} else {
+				r[op.d&15] /= sv
+			}
+		case kModR:
+			if sv := r[op.s&15]; sv != 0 {
+				r[op.d&15] %= sv
+			}
+		case kOrR:
+			r[op.d&15] |= r[op.s&15]
+		case kAndR:
+			r[op.d&15] &= r[op.s&15]
+		case kXorR:
+			r[op.d&15] ^= r[op.s&15]
+		case kLshR:
+			r[op.d&15] <<= r[op.s&15] & 63
+		case kRshR:
+			r[op.d&15] >>= r[op.s&15] & 63
+		case kArshR:
+			r[op.d&15] = uint64(int64(r[op.d&15]) >> (r[op.s&15] & 63))
+
+		case kAdd32R:
+			r[op.d&15] = uint64(uint32(r[op.d&15]) + uint32(r[op.s&15]))
+		case kSub32R:
+			r[op.d&15] = uint64(uint32(r[op.d&15]) - uint32(r[op.s&15]))
+		case kMul32R:
+			r[op.d&15] = uint64(uint32(r[op.d&15]) * uint32(r[op.s&15]))
+		case kDiv32R:
+			if sv := uint32(r[op.s&15]); sv == 0 {
+				r[op.d&15] = 0
+			} else {
+				r[op.d&15] = uint64(uint32(r[op.d&15]) / sv)
+			}
+		case kMod32R:
+			if sv := uint32(r[op.s&15]); sv == 0 {
+				r[op.d&15] = uint64(uint32(r[op.d&15]))
+			} else {
+				r[op.d&15] = uint64(uint32(r[op.d&15]) % sv)
+			}
+		case kOr32R:
+			r[op.d&15] = uint64(uint32(r[op.d&15]) | uint32(r[op.s&15]))
+		case kAnd32R:
+			r[op.d&15] = uint64(uint32(r[op.d&15]) & uint32(r[op.s&15]))
+		case kXor32R:
+			r[op.d&15] = uint64(uint32(r[op.d&15]) ^ uint32(r[op.s&15]))
+		case kLsh32R:
+			r[op.d&15] = uint64(uint32(r[op.d&15]) << (uint32(r[op.s&15]) & 31))
+		case kRsh32R:
+			r[op.d&15] = uint64(uint32(r[op.d&15]) >> (uint32(r[op.s&15]) & 31))
+		case kArsh32R:
+			r[op.d&15] = uint64(uint32(int32(uint32(r[op.d&15])) >> (uint32(r[op.s&15]) & 31)))
+		}
+	}
+}
+
+// lowerRegIns lowers one error-free register-only instruction into a
+// µop. emit=false means the instruction is an architectural no-op (le64,
+// 64-bit mod by constant zero); ok=false means the instruction is not a
+// register op — it touches memory, calls, jumps, or faults when reached.
+func lowerRegIns(ins Instruction) (op uop, emit, ok bool) {
+	if ins.IsLDDW() {
+		return uop{k: kMovI, d: ins.Dst, iv: uint64(ins.Imm64)}, true, true
+	}
+	cls := ins.Class()
+	if cls != ClassALU && cls != ClassALU64 {
+		return uop{}, false, false
+	}
+	d := ins.Dst
+	if ins.IsEndian() {
+		big := ins.Op&SrcReg != 0
+		switch ins.Imm {
+		case 16:
+			if big {
+				return uop{k: kBe16, d: d}, true, true
+			}
+			return uop{k: kAndI, d: d, iv: 0xffff}, true, true
+		case 32:
+			if big {
+				return uop{k: kBe32, d: d}, true, true
+			}
+			return uop{k: kTrunc32, d: d}, true, true
+		case 64:
+			if big {
+				return uop{k: kBe64, d: d}, true, true
+			}
+			return uop{}, false, true // le64 is a no-op
+		default:
+			return uop{}, false, false // faults at runtime
+		}
+	}
+	is32 := cls == ClassALU
+	aop := ins.Op & 0xf0
+	if ins.Op&SrcReg != 0 {
+		s := ins.Src
+		var k uint8
+		if is32 {
+			switch aop {
+			case ALUAdd:
+				k = kAdd32R
+			case ALUSub:
+				k = kSub32R
+			case ALUMul:
+				k = kMul32R
+			case ALUDiv:
+				k = kDiv32R
+			case ALUMod:
+				k = kMod32R
+			case ALUOr:
+				k = kOr32R
+			case ALUAnd:
+				k = kAnd32R
+			case ALUXor:
+				k = kXor32R
+			case ALULsh:
+				k = kLsh32R
+			case ALURsh:
+				k = kRsh32R
+			case ALUArsh:
+				k = kArsh32R
+			case ALUNeg:
+				return uop{k: kNeg32, d: d}, true, true
+			case ALUMov:
+				k = kMov32R
+			default:
+				return uop{}, false, false
+			}
+		} else {
+			switch aop {
+			case ALUAdd:
+				k = kAddR
+			case ALUSub:
+				k = kSubR
+			case ALUMul:
+				k = kMulR
+			case ALUDiv:
+				k = kDivR
+			case ALUMod:
+				k = kModR
+			case ALUOr:
+				k = kOrR
+			case ALUAnd:
+				k = kAndR
+			case ALUXor:
+				k = kXorR
+			case ALULsh:
+				k = kLshR
+			case ALURsh:
+				k = kRshR
+			case ALUArsh:
+				k = kArshR
+			case ALUNeg:
+				return uop{k: kNeg64, d: d}, true, true
+			case ALUMov:
+				k = kMovR
+			default:
+				return uop{}, false, false
+			}
+		}
+		return uop{k: k, d: d, s: s}, true, true
+	}
+	if is32 {
+		iv := uint64(uint32(ins.Imm))
+		switch aop {
+		case ALUAdd:
+			return uop{k: kAdd32I, d: d, iv: iv}, true, true
+		case ALUSub:
+			return uop{k: kSub32I, d: d, iv: iv}, true, true
+		case ALUMul:
+			return uop{k: kMul32I, d: d, iv: iv}, true, true
+		case ALUDiv:
+			if iv == 0 {
+				return uop{k: kMovI, d: d}, true, true
+			}
+			return uop{k: kDiv32I, d: d, iv: iv}, true, true
+		case ALUMod:
+			if iv == 0 {
+				return uop{k: kTrunc32, d: d}, true, true
+			}
+			return uop{k: kMod32I, d: d, iv: iv}, true, true
+		case ALUOr:
+			return uop{k: kOr32I, d: d, iv: iv}, true, true
+		case ALUAnd:
+			return uop{k: kAnd32I, d: d, iv: iv}, true, true
+		case ALUXor:
+			return uop{k: kXor32I, d: d, iv: iv}, true, true
+		case ALULsh:
+			return uop{k: kLsh32I, d: d, iv: iv & 31}, true, true
+		case ALURsh:
+			return uop{k: kRsh32I, d: d, iv: iv & 31}, true, true
+		case ALUArsh:
+			return uop{k: kArsh32I, d: d, iv: iv & 31}, true, true
+		case ALUNeg:
+			return uop{k: kNeg32, d: d}, true, true
+		case ALUMov:
+			return uop{k: kMovI, d: d, iv: iv}, true, true
+		}
+		return uop{}, false, false
+	}
+	iv := uint64(int64(ins.Imm))
+	switch aop {
+	case ALUAdd:
+		return uop{k: kAddI, d: d, iv: iv}, true, true
+	case ALUSub:
+		return uop{k: kSubI, d: d, iv: iv}, true, true
+	case ALUMul:
+		return uop{k: kMulI, d: d, iv: iv}, true, true
+	case ALUDiv:
+		if iv == 0 {
+			return uop{k: kMovI, d: d}, true, true
+		}
+		return uop{k: kDivI, d: d, iv: iv}, true, true
+	case ALUMod:
+		if iv == 0 {
+			return uop{}, false, true // mod by zero keeps dst
+		}
+		return uop{k: kModI, d: d, iv: iv}, true, true
+	case ALUOr:
+		return uop{k: kOrI, d: d, iv: iv}, true, true
+	case ALUAnd:
+		return uop{k: kAndI, d: d, iv: iv}, true, true
+	case ALUXor:
+		return uop{k: kXorI, d: d, iv: iv}, true, true
+	case ALULsh:
+		return uop{k: kLshI, d: d, iv: iv & 63}, true, true
+	case ALURsh:
+		return uop{k: kRshI, d: d, iv: iv & 63}, true, true
+	case ALUArsh:
+		return uop{k: kArshI, d: d, iv: iv & 63}, true, true
+	case ALUNeg:
+		return uop{k: kNeg64, d: d}, true, true
+	case ALUMov:
+		return uop{k: kMovI, d: d, iv: iv}, true, true
+	}
+	return uop{}, false, false
+}

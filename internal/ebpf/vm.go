@@ -82,6 +82,18 @@ type VM struct {
 	windows []window
 	fakeNow uint64
 
+	// Compiled-backend state. regs is the preallocated register file the
+	// compiled artifact runs on; compiled/noCompile cache the lowering
+	// result until the next Load or RegisterHelper; builtin marks helper
+	// ids still bound to their NewVM defaults (eligible for devirtualized
+	// fast paths); stackClean is true while the stack is known all-zero,
+	// letting compiled runs skip the entry memclr.
+	regs       regFile
+	compiled   *compiledProg
+	noCompile  bool
+	builtin    map[int32]bool
+	stackClean bool
+
 	Steps       int64 // instructions executed in the last Run
 	TotalSteps  int64 // cumulative
 	HelperCalls int64
@@ -92,13 +104,32 @@ func NewVM(maps *MapSet) *VM {
 	if maps == nil {
 		maps = &MapSet{}
 	}
-	vm := &VM{Maps: maps, helpers: make(map[int32]Helper)}
+	vm := &VM{Maps: maps, helpers: make(map[int32]Helper), builtin: make(map[int32]bool)}
 	vm.registerBuiltins()
 	return vm
 }
 
 // RegisterHelper installs a helper by id, replacing any existing one.
-func (vm *VM) RegisterHelper(id int32, h Helper) { vm.helpers[id] = h }
+// Rebinding drops the id's builtin fast path and invalidates any
+// compiled artifact (which devirtualizes helpers at compile time).
+func (vm *VM) RegisterHelper(id int32, h Helper) {
+	vm.helpers[id] = h
+	delete(vm.builtin, id)
+	vm.invalidate()
+}
+
+// registerBuiltin installs a default helper and marks it eligible for
+// the compiler's devirtualized fast paths.
+func (vm *VM) registerBuiltin(id int32, h Helper) {
+	vm.RegisterHelper(id, h)
+	vm.builtin[id] = true
+}
+
+// invalidate discards the compiled artifact; the next Run re-lowers.
+func (vm *VM) invalidate() {
+	vm.compiled = nil
+	vm.noCompile = false
+}
 
 // Helpers returns the registered helper ids (for the verifier).
 func (vm *VM) Helpers() map[int32]bool {
@@ -117,7 +148,26 @@ func (vm *VM) Load(prog []Instruction) error {
 	}
 	vm.prog = prog
 	vm.targets = targets
+	vm.invalidate()
 	return nil
+}
+
+// Precompile lowers the loaded program to the closure-compiled backend
+// now (Run otherwise compiles lazily on first use). It reports whether
+// the compiled path is active; false means the program is outside the
+// compiler's domain and Run will use the interpreter.
+func (vm *VM) Precompile() bool {
+	if vm.prog == nil {
+		return false
+	}
+	if vm.compiled == nil && !vm.noCompile {
+		if cp := compile(vm); cp != nil {
+			vm.compiled = cp
+		} else {
+			vm.noCompile = true
+		}
+	}
+	return vm.compiled != nil
 }
 
 // jumpTargets maps slot-relative jump offsets to instruction indexes,
@@ -173,6 +223,9 @@ func (vm *VM) ResetWindows() { vm.windows = vm.windows[:0] }
 // writes are permitted.
 func (vm *VM) resolve(addr uint64, size int) ([]byte, bool, error) {
 	end := addr + uint64(size)
+	if end < addr { // address-space wrap
+		return nil, false, fmt.Errorf("%w: [%#x,%#x)", ErrBadMemAccess, addr, end)
+	}
 	switch {
 	case addr >= stackBase && end <= stackBase+StackSize:
 		return vm.stack[addr-stackBase : end-stackBase], true, nil
@@ -213,6 +266,9 @@ func (vm *VM) memStore(addr uint64, size int, val uint64) error {
 	if !writable {
 		return fmt.Errorf("%w: write to read-only window at %#x", ErrBadMemAccess, addr)
 	}
+	if addr >= stackBase && addr < stackBase+StackSize {
+		vm.stackClean = false
+	}
 	switch size {
 	case 1:
 		b[0] = byte(val)
@@ -247,13 +303,36 @@ func (vm *VM) WriteBytes(addr uint64, data []byte) error {
 	if !writable {
 		return fmt.Errorf("%w: write to read-only window at %#x", ErrBadMemAccess, addr)
 	}
+	if addr >= stackBase && addr < stackBase+StackSize {
+		vm.stackClean = false
+	}
 	copy(b, data)
 	return nil
 }
 
 // Run executes the loaded program with ctx mapped at the context base
-// (r1 points to it, r2 holds its length), returning r0.
+// (r1 points to it, r2 holds its length), returning r0. It dispatches
+// to the closure-compiled backend when the program is in the compiler's
+// domain (verified, loop-free programs always are) and otherwise falls
+// back to the reference interpreter; the two are bit-identical in
+// results, step/helper accounting, and error behaviour.
 func (vm *VM) Run(ctx []byte) (uint64, error) {
+	if vm.prog == nil {
+		return 0, ErrNoProgram
+	}
+	if vm.compiled == nil && !vm.noCompile {
+		vm.Precompile()
+	}
+	if vm.compiled != nil {
+		return vm.runCompiled(ctx)
+	}
+	return vm.RunInterpreted(ctx)
+}
+
+// RunInterpreted executes the loaded program on the per-instruction
+// switch interpreter — the reference implementation the compiled
+// backend is differentially tested against.
+func (vm *VM) RunInterpreted(ctx []byte) (uint64, error) {
 	if vm.prog == nil {
 		return 0, ErrNoProgram
 	}
@@ -265,6 +344,7 @@ func (vm *VM) Run(ctx []byte) (uint64, error) {
 	for i := range vm.stack {
 		vm.stack[i] = 0
 	}
+	vm.stackClean = true
 	vm.Steps = 0
 
 	pc := 0
@@ -527,7 +607,7 @@ func (vm *VM) Run(ctx []byte) (uint64, error) {
 }
 
 func (vm *VM) registerBuiltins() {
-	vm.RegisterHelper(HelperMapLookup, Helper{Name: "map_lookup_elem", Fn: func(vm *VM, a [5]uint64) (uint64, error) {
+	vm.registerBuiltin(HelperMapLookup, Helper{Name: "map_lookup_elem", Fn: func(vm *VM, a [5]uint64) (uint64, error) {
 		m, err := vm.Maps.Get(int(a[0]))
 		if err != nil {
 			return 0, err
@@ -542,7 +622,7 @@ func (vm *VM) registerBuiltins() {
 		}
 		return vm.AddWindow(val, true), nil
 	}})
-	vm.RegisterHelper(HelperMapUpdate, Helper{Name: "map_update_elem", Fn: func(vm *VM, a [5]uint64) (uint64, error) {
+	vm.registerBuiltin(HelperMapUpdate, Helper{Name: "map_update_elem", Fn: func(vm *VM, a [5]uint64) (uint64, error) {
 		m, err := vm.Maps.Get(int(a[0]))
 		if err != nil {
 			return 0, err
@@ -560,7 +640,7 @@ func (vm *VM) registerBuiltins() {
 		}
 		return 0, nil
 	}})
-	vm.RegisterHelper(HelperMapDelete, Helper{Name: "map_delete_elem", Fn: func(vm *VM, a [5]uint64) (uint64, error) {
+	vm.registerBuiltin(HelperMapDelete, Helper{Name: "map_delete_elem", Fn: func(vm *VM, a [5]uint64) (uint64, error) {
 		m, err := vm.Maps.Get(int(a[0]))
 		if err != nil {
 			return 0, err
@@ -574,14 +654,14 @@ func (vm *VM) registerBuiltins() {
 		}
 		return ^uint64(0), nil
 	}})
-	vm.RegisterHelper(HelperKtime, Helper{Name: "ktime_get_ns", Fn: func(vm *VM, a [5]uint64) (uint64, error) {
+	vm.registerBuiltin(HelperKtime, Helper{Name: "ktime_get_ns", Fn: func(vm *VM, a [5]uint64) (uint64, error) {
 		if vm.Now != nil {
 			return vm.Now(), nil
 		}
 		vm.fakeNow++
 		return vm.fakeNow, nil
 	}})
-	vm.RegisterHelper(HelperTrace, Helper{Name: "trace", Fn: func(vm *VM, a [5]uint64) (uint64, error) {
+	vm.registerBuiltin(HelperTrace, Helper{Name: "trace", Fn: func(vm *VM, a [5]uint64) (uint64, error) {
 		if vm.Trace != nil {
 			vm.Trace(a[0])
 		}

@@ -313,20 +313,34 @@ func (d *Device) after(delay sim.Duration, fn func()) {
 
 func (d *Device) readStore(lba int64, blocks int) []byte {
 	out := make([]byte, blocks*d.cfg.BlockSize)
+	d.readStoreInto(out, lba, blocks)
+	return out
+}
+
+func (d *Device) readStoreInto(dst []byte, lba int64, blocks int) {
+	bs := d.cfg.BlockSize
 	for i := 0; i < blocks; i++ {
+		span := dst[i*bs : (i+1)*bs]
 		if b, ok := d.store[lba+int64(i)]; ok {
-			copy(out[i*d.cfg.BlockSize:], b)
+			copy(span, b)
+		} else {
+			clear(span) // unwritten blocks read back as zeros
 		}
 	}
-	return out
 }
 
 func (d *Device) writeStore(lba int64, data []byte) {
 	bs := d.cfg.BlockSize
 	for i := 0; i*bs < len(data); i++ {
-		blk := make([]byte, bs)
-		copy(blk, data[i*bs:])
-		d.store[lba+int64(i)] = blk
+		// Blocks are stored at full block size; rewriting one reuses its
+		// buffer, zero-padding past a short final fragment.
+		blk := d.store[lba+int64(i)]
+		if blk == nil {
+			blk = make([]byte, bs)
+			d.store[lba+int64(i)] = blk
+		}
+		n := copy(blk, data[i*bs:])
+		clear(blk[n:])
 	}
 }
 
@@ -342,6 +356,12 @@ func (d *Device) StoredBlocks() int { return len(d.store) }
 // ReadSync returns the payload of blocks [lba, lba+n) immediately.
 func (d *Device) ReadSync(lba int64, blocks int) []byte {
 	return d.readStore(lba, blocks)
+}
+
+// ReadSyncInto copies blocks [lba, lba+n) into dst, which must hold at
+// least n full blocks. It is the allocation-free form of ReadSync.
+func (d *Device) ReadSyncInto(dst []byte, lba int64, blocks int) {
+	d.readStoreInto(dst, lba, blocks)
 }
 
 // WriteSync stores data at lba immediately.

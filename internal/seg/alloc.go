@@ -73,58 +73,107 @@ func (a *allocator) release(addr, n int64) {
 }
 
 // lruCache models the hardware segment-descriptor cache: presence only,
-// no payload (the cost model cares about hit/miss, not contents).
+// no payload (the cost model cares about hit/miss, not contents). The
+// recency order is an index-linked list over a node arena, so get, put,
+// and remove are O(1) with no steady-state allocation; eviction order is
+// identical to the textbook list form (front = LRU, back = MRU).
 type lruCache struct {
-	cap   int
-	order []ObjectID // front = LRU, back = MRU
-	set   map[ObjectID]bool
+	cap        int
+	idx        map[ObjectID]int32
+	nodes      []lruNode
+	head, tail int32 // head = LRU, tail = MRU; -1 when empty
+	freeList   int32 // recycled node indexes, chained via next
+}
+
+type lruNode struct {
+	key        ObjectID
+	prev, next int32
 }
 
 func newLRU(cap int) *lruCache {
-	return &lruCache{cap: cap, set: make(map[ObjectID]bool, cap)}
+	return &lruCache{
+		cap:      cap,
+		idx:      make(map[ObjectID]int32, cap),
+		head:     -1,
+		tail:     -1,
+		freeList: -1,
+	}
 }
 
 func (c *lruCache) get(id ObjectID) bool {
-	if !c.set[id] {
+	i, ok := c.idx[id]
+	if !ok {
 		return false
 	}
-	c.touch(id)
+	c.moveBack(i)
 	return true
 }
 
 func (c *lruCache) put(id ObjectID) {
-	if c.set[id] {
-		c.touch(id)
+	if i, ok := c.idx[id]; ok {
+		c.moveBack(i)
 		return
 	}
-	if len(c.order) >= c.cap {
-		victim := c.order[0]
-		c.order = c.order[1:]
-		delete(c.set, victim)
+	if len(c.idx) >= c.cap {
+		v := c.head
+		c.unlink(v)
+		delete(c.idx, c.nodes[v].key)
+		c.nodes[v].next = c.freeList
+		c.freeList = v
 	}
-	c.order = append(c.order, id)
-	c.set[id] = true
-}
-
-func (c *lruCache) touch(id ObjectID) {
-	for i, v := range c.order {
-		if v == id {
-			c.order = append(c.order[:i], c.order[i+1:]...)
-			c.order = append(c.order, id)
-			return
-		}
+	var i int32
+	if c.freeList >= 0 {
+		i = c.freeList
+		c.freeList = c.nodes[i].next
+		c.nodes[i] = lruNode{key: id}
+	} else {
+		c.nodes = append(c.nodes, lruNode{key: id})
+		i = int32(len(c.nodes) - 1)
 	}
+	c.pushBack(i)
+	c.idx[id] = i
 }
 
 func (c *lruCache) remove(id ObjectID) {
-	if !c.set[id] {
+	i, ok := c.idx[id]
+	if !ok {
 		return
 	}
-	delete(c.set, id)
-	for i, v := range c.order {
-		if v == id {
-			c.order = append(c.order[:i], c.order[i+1:]...)
-			return
-		}
+	c.unlink(i)
+	delete(c.idx, id)
+	c.nodes[i].next = c.freeList
+	c.freeList = i
+}
+
+func (c *lruCache) unlink(i int32) {
+	n := &c.nodes[i]
+	if n.prev >= 0 {
+		c.nodes[n.prev].next = n.next
+	} else {
+		c.head = n.next
 	}
+	if n.next >= 0 {
+		c.nodes[n.next].prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+}
+
+func (c *lruCache) pushBack(i int32) {
+	n := &c.nodes[i]
+	n.prev, n.next = c.tail, -1
+	if c.tail >= 0 {
+		c.nodes[c.tail].next = i
+	} else {
+		c.head = i
+	}
+	c.tail = i
+}
+
+func (c *lruCache) moveBack(i int32) {
+	if c.tail == i {
+		return
+	}
+	c.unlink(i)
+	c.pushBack(i)
 }

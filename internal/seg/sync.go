@@ -21,11 +21,21 @@ import (
 type SyncView struct {
 	s    *Store
 	cost sim.Duration
+	rmw  []byte // scratch for read-modify-write edges in WriteAt
 
 	// Op counters for experiment reporting.
 	Reads, Writes           int64
 	DevReads, DevWrites     int64
 	BytesRead, BytesWritten int64
+}
+
+// grow returns buf resized to n bytes, reallocating only when its
+// capacity is insufficient. Contents are unspecified.
+func grow(buf []byte, n int64) []byte {
+	if int64(cap(buf)) < n {
+		return make([]byte, n)
+	}
+	return buf[:n]
 }
 
 // NewSyncView creates a view over s.
@@ -69,6 +79,14 @@ func (v *SyncView) Stat(id ObjectID) (*Segment, error) {
 
 // ReadAt copies length bytes at off from the object.
 func (v *SyncView) ReadAt(id ObjectID, off, length int64) ([]byte, error) {
+	return v.ReadAtBuf(id, off, length, nil)
+}
+
+// ReadAtBuf is ReadAt into a caller-provided scratch buffer, charging the
+// identical modeled cost. The result starts at buf's base and aliases it
+// whenever capacity suffices; callers reuse the buffer across calls by
+// passing the previous result back in.
+func (v *SyncView) ReadAtBuf(id ObjectID, off, length int64, buf []byte) ([]byte, error) {
 	sg, tc, err := v.s.Lookup(id)
 	v.cost += tc
 	if err != nil {
@@ -81,7 +99,7 @@ func (v *SyncView) ReadAt(id ObjectID, off, length int64) ([]byte, error) {
 	v.BytesRead += length
 	if sg.Loc == LocDRAM {
 		v.cost += v.s.dramTime(length)
-		out := make([]byte, length)
+		out := grow(buf, length)
 		copy(out, v.s.dram[sg.Addr+off:sg.Addr+off+length])
 		return out, nil
 	}
@@ -96,8 +114,12 @@ func (v *SyncView) ReadAt(id ObjectID, off, length int64) ([]byte, error) {
 	d := v.s.devs[dev].Device()
 	v.cost += d.AccessCost(nvme.OpRead, nblocks)
 	v.DevReads++
-	data := d.ReadSync(first, nblocks)
-	return data[skip : skip+length], nil
+	data := grow(buf, int64(nblocks)*bs)
+	d.ReadSyncInto(data, first, nblocks)
+	// Slide the payload to the buffer base so the result can be handed
+	// back as the next call's scratch without losing capacity.
+	copy(data, data[skip:skip+length])
+	return data[:length], nil
 }
 
 // WriteAt stores data at off in the object (read-modify-write for
@@ -138,7 +160,9 @@ func (v *SyncView) WriteAt(id ObjectID, off int64, data []byte) error {
 	v.cost += d.AccessCost(nvme.OpRead, nblocks) + d.AccessCost(nvme.OpWrite, nblocks)
 	v.DevReads++
 	v.DevWrites++
-	old := d.ReadSync(first, nblocks)
+	old := grow(v.rmw, int64(nblocks)*bs)
+	v.rmw = old
+	d.ReadSyncInto(old, first, nblocks)
 	copy(old[skip:], data)
 	d.WriteSync(first, old)
 	return nil

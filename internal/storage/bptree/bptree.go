@@ -47,9 +47,46 @@ type Tree struct {
 	durable   bool
 	metaDirty bool
 
+	// Reused node-image scratch: wbuf is zeroed before each encode so
+	// stored images stay byte-identical to fresh-buffer encodes; rbuf
+	// backs readNode (decoded nodes copy out of it, so it is free to
+	// reuse). The tree is single-threaded.
+	wbuf    []byte
+	rbuf    []byte
+	metaBuf [64]byte
+
+	// arena holds decode targets for readNode. Slots are recycled at the
+	// start of every public operation (and as descents release their
+	// parents), so one operation's live nodes never alias; decoded nodes
+	// are never cached across reads — every readNode re-decodes from the
+	// store. Slot arrays carry one-past-capacity headroom so the insert
+	// path's pre-split appends stay in place.
+	arena     []*node
+	arenaUsed int
+
 	// Stats.
 	NodesRead, NodesWritten, Splits int64
 }
+
+// beginOp recycles the whole node arena; called on entry to every public
+// tree operation.
+func (t *Tree) beginOp() { t.arenaUsed = 0 }
+
+// arenaNode returns the next free decode slot, growing the arena on
+// first use.
+func (t *Tree) arenaNode() *node {
+	if t.arenaUsed == len(t.arena) {
+		t.arena = append(t.arena, &node{})
+	}
+	n := t.arena[t.arenaUsed]
+	t.arenaUsed++
+	return n
+}
+
+// releaseNode returns the most recently decoded node to the arena; only
+// valid when the caller owns that node and no later-decoded nodes are
+// live (descent loops releasing a parent before reading its child).
+func (t *Tree) releaseNode() { t.arenaUsed-- }
 
 type node struct {
 	kind     uint8
@@ -96,7 +133,7 @@ func Open(v *seg.SyncView, metaID seg.ObjectID) (*Tree, error) {
 }
 
 func (t *Tree) writeMeta() error {
-	buf := make([]byte, 64)
+	buf := t.metaBuf[:]
 	binary.LittleEndian.PutUint32(buf, metaMagic)
 	binary.LittleEndian.PutUint64(buf[8:], t.root.Hi)
 	binary.LittleEndian.PutUint64(buf[16:], t.root.Lo)
@@ -137,7 +174,11 @@ func (t *Tree) Root() seg.ObjectID { return t.root }
 // encode/decode nodes.
 
 func (t *Tree) writeNode(id seg.ObjectID, n *node) error {
-	buf := make([]byte, NodeBytes)
+	if t.wbuf == nil {
+		t.wbuf = make([]byte, NodeBytes)
+	}
+	buf := t.wbuf
+	clear(buf)
 	buf[0] = n.kind
 	binary.LittleEndian.PutUint16(buf[2:], uint16(len(n.keys)))
 	off := 8
@@ -170,11 +211,89 @@ func (t *Tree) writeNode(id seg.ObjectID, n *node) error {
 }
 
 func (t *Tree) readNode(id seg.ObjectID) (*node, error) {
-	buf, err := t.v.ReadAt(id, 0, NodeBytes)
+	buf, err := t.v.ReadAtBuf(id, 0, NodeBytes, t.rbuf)
 	if err != nil {
 		return nil, err
 	}
-	return decodeNode(buf)
+	t.rbuf = buf
+	n := t.arenaNode()
+	if err := decodeNodeInto(n, buf); err != nil {
+		t.releaseNode()
+		return nil, err
+	}
+	return n, nil
+}
+
+// growU64 resizes s to n entries, reallocating with capHint headroom
+// only when capacity is insufficient. Contents are unspecified.
+func growU64(s []uint64, n, capHint int) []uint64 {
+	if cap(s) < n {
+		if capHint < n {
+			capHint = n
+		}
+		return make([]uint64, n, capHint)
+	}
+	return s[:n]
+}
+
+func growIDs(s []seg.ObjectID, n, capHint int) []seg.ObjectID {
+	if cap(s) < n {
+		if capHint < n {
+			capHint = n
+		}
+		return make([]seg.ObjectID, n, capHint)
+	}
+	return s[:n]
+}
+
+// decodeNodeInto parses a raw node image into n, reusing n's slice
+// capacity. Equivalent to decodeNode except for allocation behavior.
+func decodeNodeInto(n *node, buf []byte) error {
+	if len(buf) < NodeBytes {
+		return fmt.Errorf("%w: short node", ErrCorrupt)
+	}
+	n.kind = buf[0]
+	cnt := int(binary.LittleEndian.Uint16(buf[2:]))
+	off := 8
+	switch n.kind {
+	case kindLeaf:
+		if cnt > LeafCap {
+			return fmt.Errorf("%w: leaf count %d", ErrCorrupt, cnt)
+		}
+		n.next = seg.ObjectID{Hi: binary.LittleEndian.Uint64(buf[off:]), Lo: binary.LittleEndian.Uint64(buf[off+8:])}
+		off += 16
+		n.children = n.children[:0]
+		n.keys = growU64(n.keys, cnt, LeafCap+1)
+		n.vals = growU64(n.vals, cnt, LeafCap+1)
+		for i := 0; i < cnt; i++ {
+			n.keys[i] = binary.LittleEndian.Uint64(buf[off+i*8:])
+		}
+		off += LeafCap * 8
+		for i := 0; i < cnt; i++ {
+			n.vals[i] = binary.LittleEndian.Uint64(buf[off+i*8:])
+		}
+	case kindInternal:
+		if cnt > IntCap {
+			return fmt.Errorf("%w: internal count %d", ErrCorrupt, cnt)
+		}
+		n.next = seg.ObjectID{}
+		n.vals = n.vals[:0]
+		n.keys = growU64(n.keys, cnt, IntCap+1)
+		for i := 0; i < cnt; i++ {
+			n.keys[i] = binary.LittleEndian.Uint64(buf[off+i*8:])
+		}
+		off += IntCap * 8
+		n.children = growIDs(n.children, cnt+1, IntCap+2)
+		for i := 0; i <= cnt; i++ {
+			n.children[i] = seg.ObjectID{
+				Hi: binary.LittleEndian.Uint64(buf[off+i*16:]),
+				Lo: binary.LittleEndian.Uint64(buf[off+i*16+8:]),
+			}
+		}
+	default:
+		return fmt.Errorf("%w: kind %d", ErrCorrupt, n.kind)
+	}
+	return nil
 }
 
 // DecodeNode parses a raw node image (exported for the offloaded eBPF
@@ -259,6 +378,7 @@ func search(keys []uint64, k uint64) int {
 
 // Get returns the value for key.
 func (t *Tree) Get(key uint64) (uint64, bool, error) {
+	t.beginOp()
 	id := t.root
 	for {
 		n, err := t.readNodeCounted(id)
@@ -277,6 +397,7 @@ func (t *Tree) Get(key uint64) (uint64, bool, error) {
 			i++
 		}
 		id = n.children[i]
+		t.releaseNode() // parent is dead; let the child reuse its slot
 	}
 }
 
@@ -287,6 +408,7 @@ func (t *Tree) readNodeCounted(id seg.ObjectID) (*node, error) {
 
 // Insert adds or replaces key → val.
 func (t *Tree) Insert(key, val uint64) error {
+	t.beginOp()
 	promoted, newChild, err := t.insert(t.root, key, val)
 	if err != nil {
 		return err
@@ -401,6 +523,7 @@ const (
 // nodes rebalance by borrowing from a sibling or merging into it, and
 // the tree shrinks when the root empties.
 func (t *Tree) Delete(key uint64) (bool, error) {
+	t.beginOp()
 	found, _, err := t.delete(t.root, key)
 	if err != nil || !found {
 		return found, err
@@ -408,6 +531,7 @@ func (t *Tree) Delete(key uint64) (bool, error) {
 	// Collapse a childless root chain: an internal root with a single
 	// child makes that child the new root.
 	for {
+		t.beginOp() // the removal recursion's nodes are dead here
 		n, rerr := t.readNodeCounted(t.root)
 		if rerr != nil {
 			return true, rerr
@@ -585,6 +709,7 @@ func (t *Tree) writeNodes(args ...any) error {
 // false stops the scan early.
 func (t *Tree) Scan(from, to uint64, fn func(key, val uint64) bool) error {
 	// Descend to the leaf containing from.
+	t.beginOp()
 	id := t.root
 	for {
 		n, err := t.readNodeCounted(id)
@@ -607,6 +732,9 @@ func (t *Tree) Scan(from, to uint64, fn func(key, val uint64) bool) error {
 				if n.next.IsZero() {
 					return nil
 				}
+				// n.next is evaluated before the call, so releasing the
+				// current leaf's slot for the next one to reuse is safe.
+				t.releaseNode()
 				n, err = t.readNodeCounted(n.next)
 				if err != nil {
 					return err
@@ -618,12 +746,14 @@ func (t *Tree) Scan(from, to uint64, fn func(key, val uint64) bool) error {
 			i++
 		}
 		id = n.children[i]
+		t.releaseNode() // parent is dead; let the child reuse its slot
 	}
 }
 
 // Path returns the node ids visited looking up key (root to leaf); it
 // powers the client-side traversal experiment (one RTT per element).
 func (t *Tree) Path(key uint64) ([]seg.ObjectID, error) {
+	t.beginOp()
 	var path []seg.ObjectID
 	id := t.root
 	for {
@@ -640,5 +770,6 @@ func (t *Tree) Path(key uint64) ([]seg.ObjectID, error) {
 			i++
 		}
 		id = n.children[i]
+		t.releaseNode() // parent is dead; let the child reuse its slot
 	}
 }

@@ -82,6 +82,12 @@ type KV struct {
 	tailOff int64
 	nextLo  uint64
 
+	// Reused encode/read scratch; the store is single-threaded (DPU
+	// handlers are run-to-completion) and the layers below copy.
+	metaBuf []byte
+	recBuf  []byte
+	readBuf []byte
+
 	Puts, Gets, Deletes, Collisions int64
 }
 
@@ -160,7 +166,12 @@ func Open(v *seg.SyncView, metaID seg.ObjectID) (*KV, error) {
 }
 
 func (kv *KV) writeMeta() error {
-	buf := make([]byte, 4096)
+	// The header and the (monotonically growing) chunk list are fully
+	// rewritten on every call, so the buffer never leaks stale bytes.
+	if kv.metaBuf == nil {
+		kv.metaBuf = make([]byte, 4096)
+	}
+	buf := kv.metaBuf
 	binary.LittleEndian.PutUint32(buf, metaMagic)
 	buf[4] = byte(kv.backend)
 	if kv.durable {
@@ -218,7 +229,10 @@ func (kv *KV) appendRecord(key, val []byte) (uint64, error) {
 			return 0, err
 		}
 	}
-	rec := make([]byte, recLen)
+	if cap(kv.recBuf) < recLen {
+		kv.recBuf = make([]byte, recLen)
+	}
+	rec := kv.recBuf[:recLen]
 	binary.LittleEndian.PutUint16(rec, uint16(len(key)))
 	binary.LittleEndian.PutUint32(rec[2:], uint32(len(val)))
 	copy(rec[6:], key)
@@ -235,15 +249,18 @@ func (kv *KV) appendRecord(key, val []byte) (uint64, error) {
 	return pack(chunk, off, recLen), nil
 }
 
+// readRecord decodes the record at ref. The returned key and val alias
+// the store's read scratch and are valid only until the next readRecord.
 func (kv *KV) readRecord(ref uint64) (key, val []byte, err error) {
 	chunk, off, recLen := unpack(ref)
 	if chunk >= len(kv.chunks) {
 		return nil, nil, fmt.Errorf("%w: chunk %d", ErrCorrupt, chunk)
 	}
-	buf, err := kv.v.ReadAt(kv.chunks[chunk], off, int64(recLen))
+	buf, err := kv.v.ReadAtBuf(kv.chunks[chunk], off, int64(recLen), kv.readBuf)
 	if err != nil {
 		return nil, nil, err
 	}
+	kv.readBuf = buf
 	kl := int(binary.LittleEndian.Uint16(buf))
 	vl := int(binary.LittleEndian.Uint32(buf[2:]))
 	if 6+kl+vl != recLen {

@@ -44,6 +44,7 @@ func BenchmarkCorfu_SharedLog(b *testing.B)             { runExperiment(b, "E11"
 func BenchmarkColumnarScan_Pushdown(b *testing.B)       { runExperiment(b, "E12") }
 func BenchmarkKV_YCSBBackends(b *testing.B)             { runExperiment(b, "E13") }
 func BenchmarkNVMeoF_Transports(b *testing.B)           { runExperiment(b, "E14") }
+func BenchmarkChaos_FaultInjection(b *testing.B)        { runExperiment(b, "E16") }
 
 // TestAllExperimentsProduceOutput is the integration smoke test: every
 // experiment runs to completion and emits a plausible table. Subtests
@@ -93,6 +94,7 @@ var goldenTableHashes = map[string]string{
 	"E13": "348658f176fc917f7a9fe395f97c4a613f5a01dda755a3e1dc7436f57153fc1a",
 	"E14": "fa7d0cceee370065bfce0ac7d884ce9a69945f96fb753b80071739dec1c15c99",
 	"X1":  "238916f719bb49803307dd2218cc38be11010ef940accc4a0354a75c81e22aef",
+	"E16": "41cd53e508a79a61d8b3e46ad2c7bb5db51792ca0e7470fcae7146e6c7e491b0",
 }
 
 // TestExperimentsDeterministic asserts the simulation's core promise:

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// benchctlBin is the binary under test, built once in TestMain — the
+// exit-code contract belongs to the executable, not the package, so
+// these tests drive it through os/exec exactly as CI does.
+var benchctlBin string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "benchctl-test")
+	if err != nil {
+		panic(err)
+	}
+	benchctlBin = filepath.Join(dir, "benchctl")
+	out, err := exec.Command("go", "build", "-o", benchctlBin, ".").CombinedOutput()
+	if err != nil {
+		panic("building benchctl: " + err.Error() + "\n" + string(out))
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// run executes benchctl with args and returns combined output and the
+// exit code (0 on success, -1 if it did not exit normally).
+func run(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(benchctlBin, args...)
+	cmd.Dir = repoRoot(t)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return string(out), 0
+	}
+	var ee *exec.ExitError
+	if errors.As(err, &ee) {
+		return string(out), ee.ExitCode()
+	}
+	t.Fatalf("running benchctl %v: %v", args, err)
+	return "", -1
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Dir(filepath.Dir(wd)) // cmd/benchctl -> repo root
+}
+
+func TestExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns full experiment runs")
+	}
+	for _, tc := range []struct {
+		name     string
+		args     []string
+		wantExit int
+		wantOut  string
+	}{
+		{"usage", nil, 2, "usage: benchctl"},
+		{"unknown experiment", []string{"no-such-experiment"}, 1, "unknown experiment"},
+		{"list includes chaos", []string{"list"}, 0, "E16"},
+		{"single experiment", []string{"table1"}, 0, "== E1"},
+		{"compare with unreadable report", []string{"-compare", "no-such-file.json", "all"}, 1, "no-such-file.json"},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			out, exit := run(t, tc.args...)
+			if exit != tc.wantExit {
+				t.Fatalf("exit = %d, want %d; output:\n%s", exit, tc.wantExit, out)
+			}
+			if !strings.Contains(out, tc.wantOut) {
+				t.Fatalf("output missing %q:\n%s", tc.wantOut, out)
+			}
+		})
+	}
+}
+
+// TestCompareExitCodes exercises the CI hash gate end to end: a
+// self-generated report compares clean (exit 0), and the same report
+// with one doctored table hash must fail the gate (exit 1) naming the
+// drifted experiment.
+func TestCompareExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns full experiment runs")
+	}
+	report := filepath.Join(t.TempDir(), "bench.json")
+	if out, exit := run(t, "-parallel", "4", "-json", report, "all"); exit != 0 {
+		t.Fatalf("generating report failed (exit %d):\n%s", exit, out)
+	}
+
+	out, exit := run(t, "-parallel", "4", "-compare", report, "all")
+	if exit != 0 {
+		t.Fatalf("self-compare exit = %d, want 0:\n%s", exit, out)
+	}
+	if strings.Contains(out, "HASH MISMATCH") {
+		t.Fatalf("self-compare reported a mismatch:\n%s", out)
+	}
+
+	// Doctor one hash and the gate must trip.
+	raw, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	results := doc["results"].([]any)
+	first := results[0].(map[string]any)
+	first["table_sha256"] = strings.Repeat("0", 64)
+	doctored, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(t.TempDir(), "doctored.json")
+	if err := os.WriteFile(bad, doctored, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, exit = run(t, "-parallel", "4", "-compare", bad, "all")
+	if exit != 1 {
+		t.Fatalf("doctored compare exit = %d, want 1:\n%s", exit, out)
+	}
+	if !strings.Contains(out, first["id"].(string)) {
+		t.Fatalf("mismatch report does not name experiment %s:\n%s", first["id"], out)
+	}
+}

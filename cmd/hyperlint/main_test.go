@@ -1,0 +1,86 @@
+package main
+
+import (
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// hyperlintBin is the binary under test, built once in TestMain. The
+// standalone mode's exit codes (0 clean, 1 findings, 2 usage/load
+// errors) are CI's interface to the tool, so they are tested through
+// the executable.
+var hyperlintBin string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "hyperlint-test")
+	if err != nil {
+		panic(err)
+	}
+	hyperlintBin = filepath.Join(dir, "hyperlint")
+	out, err := exec.Command("go", "build", "-o", hyperlintBin, ".").CombinedOutput()
+	if err != nil {
+		panic("building hyperlint: " + err.Error() + "\n" + string(out))
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+func run(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(hyperlintBin, args...)
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Dir = filepath.Dir(filepath.Dir(wd)) // cmd/hyperlint -> repo root
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return string(out), 0
+	}
+	var ee *exec.ExitError
+	if errors.As(err, &ee) {
+		return string(out), ee.ExitCode()
+	}
+	t.Fatalf("running hyperlint %v: %v", args, err)
+	return "", -1
+}
+
+func TestStandaloneExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("standalone mode type-checks packages")
+	}
+	for _, tc := range []struct {
+		name     string
+		args     []string
+		wantExit int
+		wantOut  string
+	}{
+		// The fault plane is a model-layer package and must stay clean —
+		// this is the same gate CI's vet run applies.
+		{"clean model package", []string{"./internal/fault"}, 0, ""},
+		// The committed fixture holds a known violation (testdata is
+		// outside ./... so only this test ever loads it); standalone
+		// mode must find it and exit 1.
+		{"findings fail", []string{"./cmd/hyperlint/testdata/bad"}, 1, "[nodeterm]"},
+		{"checks filter passes clean", []string{"-checks", "maprange", "./cmd/hyperlint/testdata/bad"}, 0, ""},
+		{"list analyzers", []string{"-list"}, 0, "nodeterm"},
+		{"unknown analyzer", []string{"-checks", "nosuchcheck", "./internal/fault"}, 2, "nosuchcheck"},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			out, exit := run(t, tc.args...)
+			if exit != tc.wantExit {
+				t.Fatalf("exit = %d, want %d; output:\n%s", exit, tc.wantExit, out)
+			}
+			if !strings.Contains(out, tc.wantOut) {
+				t.Fatalf("output missing %q:\n%s", tc.wantOut, out)
+			}
+		})
+	}
+}

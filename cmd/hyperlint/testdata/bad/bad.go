@@ -1,0 +1,12 @@
+// Package bad is a hyperlint standalone-mode fixture: a harness-layer
+// package with an unannotated wall-clock read. main_test.go runs the
+// built binary against it and expects a nodeterm finding with exit 1.
+// The testdata path keeps it out of ./... builds and the vet gate.
+package bad
+
+import "time"
+
+// Now reads the wall clock without a hyperlint:allow annotation.
+func Now() time.Time {
+	return time.Now()
+}

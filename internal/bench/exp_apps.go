@@ -20,8 +20,8 @@ import (
 
 // newView builds a standalone segment-store view for storage-layer
 // experiments.
-func newView(devs int) (*sim.Engine, *seg.SyncView) {
-	eng := sim.NewEngine(1)
+func newView(devs int, seed uint64) (*sim.Engine, *seg.SyncView) {
+	eng := sim.NewEngine(seed)
 	var hosts []*nvme.Host
 	for i := 0; i < devs; i++ {
 		cfg := nvme.DefaultConfig(fmt.Sprintf("ssd%d", i))
@@ -36,11 +36,11 @@ func newView(devs int) (*sim.Engine, *seg.SyncView) {
 
 // PointerChase reproduces §2.4's pointer-chasing figure: lookup latency
 // and round trips vs tree height, client-side vs offloaded.
-func PointerChase() Result {
+func PointerChase(seed uint64) Result {
 	r := Result{ID: "E7", Title: "§2.4 — pointer chasing: client-side RTTs vs offloaded"}
 	r.Table.Header = []string{"keys", "height", "client RTTs", "client latency", "offload RTTs", "offload latency", "speedup"}
 	for _, keys := range []int{150, 8000, 40000} {
-		eng := sim.NewEngine(1)
+		eng := sim.NewEngine(seed)
 		net := netsim.New(eng, netsim.DefaultConfig())
 		cfg := core.DefaultConfig("chase")
 		cfg.NVMe.Blocks = 1 << 20
@@ -74,7 +74,7 @@ func PointerChase() Result {
 		cc := chase.NewClient(cli, d.ControlAddr())
 
 		const lookups = 50
-		rng := sim.NewRand(7)
+		rng := sim.NewRand(seed + 6)
 		measure := func(get func(uint64, func(chase.GetReply, error))) (sim.Duration, int64) {
 			cc.RTTs = 0
 			var total sim.Duration
@@ -105,16 +105,16 @@ func PointerChase() Result {
 // Fail2ban reproduces the §2.4 middleware result: line-rate filtering
 // with persistent ban state on the DPU vs the same filter on a host CPU
 // stack.
-func Fail2ban() Result {
+func Fail2ban(seed uint64) Result {
 	r := Result{ID: "E8", Title: "§2.4 — fail2ban middleware on the DPU"}
 	r.Table.Header = []string{"platform", "pkts", "banned", "dropped", "Mpps capacity", "per-pkt latency"}
-	eng, d := bootDPU("f2b")
+	eng, d := bootDPU("f2b", seed)
 	f, err := fail2ban.Deploy(d, 0, 5, nil)
 	if err != nil {
 		panic(err)
 	}
 	eng.Run()
-	g := trace.NewAttackGen(11, 16)
+	g := trace.NewAttackGen(seed+10, 16)
 	const pkts = 20000
 	start := eng.Now()
 	for i := 0; i < pkts; i++ {
@@ -144,11 +144,11 @@ func Fail2ban() Result {
 
 // LoadBalancer reproduces the §2.4 Tiara-style result: connection-table
 // scaling past DRAM by spilling to the attached SSDs.
-func LoadBalancer() Result {
+func LoadBalancer(seed uint64) Result {
 	r := Result{ID: "E9", Title: "§2.4 — L4 load balancer with SSD state spill"}
 	r.Table.Header = []string{"conns", "hot cap", "spills", "spill hits", "mean steer", "state kept"}
 	for _, conns := range []int{2000, 8000, 32000} {
-		eng, v := newView(4)
+		eng, v := newView(4, seed)
 		bal, err := lb.New(v, seg.OID(0x1b, 0), []lb.Backend{{Addr: 1}, {Addr: 2}, {Addr: 3}, {Addr: 4}}, 4000)
 		if err != nil {
 			panic(err)
@@ -188,13 +188,13 @@ func LoadBalancer() Result {
 // Concurrent appenders overlap flash programs on different units, so
 // aggregate throughput is min(sequencer rate × batch, units / unit
 // write time); the sweep shows both regimes and the crossover.
-func Corfu() Result {
+func Corfu(seed uint64) Result {
 	r := Result{ID: "E11", Title: "§2.4 — Corfu-SSD shared log: stripes × sequencer batching"}
 	r.Table.Header = []string{"units", "batch", "unit write", "seq-bound Kops/s", "flash-bound Kops/s", "aggregate Kops/s", "bottleneck"}
 	seqRTT := 3 * sim.Microsecond // sequencer token round trip
 	for _, units := range []int{1, 2, 4, 8} {
 		for _, batch := range []int{1, 8} {
-			eng, v := newView(4)
+			eng, v := newView(4, seed)
 			log := buildLog(v, units)
 			// Entries are block-aligned (cell = 4 KiB) so unit writes
 			// go straight to the flash write cache without RMW, as a

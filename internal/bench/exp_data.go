@@ -19,11 +19,11 @@ import (
 // ColumnarScan reproduces §2.3: annotation-driven file access plus
 // columnar predicate pushdown executed next to the data, against the
 // CPU-mediated alternative that ships the whole object to the client.
-func ColumnarScan() Result {
+func ColumnarScan(seed uint64) Result {
 	r := Result{ID: "E12", Title: "§2.3 — file + columnar access without a CPU"}
 	r.Table.Header = []string{"approach", "device reads", "bytes moved", "modeled time", "rows matched"}
 
-	eng, v := newView(4)
+	eng, v := newView(4, seed)
 	// Build a filesystem with a columnar table inside it.
 	fs, err := hfs.Mkfs(v, seg.OID(0xF5, 0), true)
 	if err != nil {
@@ -107,19 +107,19 @@ func ColumnarScan() Result {
 
 // KVStore reproduces the §2.4 KV-SSD workloads: YCSB mixes over both
 // index backends (the B+/LSM ablation of §4).
-func KVStore() Result {
+func KVStore(seed uint64) Result {
 	r := Result{ID: "E13", Title: "§2.4 — KV-SSD: YCSB mixes × index backend"}
 	r.Table.Header = []string{"mix", "backend", "ops", "mean op", "dev reads/op", "dev writes/op"}
 	const keys = 2000
 	const ops = 4000
 	for _, mix := range []trace.YCSBMix{trace.YCSBA, trace.YCSBB, trace.YCSBC} {
 		for _, be := range []kvssd.Backend{kvssd.BackendBTree, kvssd.BackendLSM} {
-			eng, v := newView(4)
+			eng, v := newView(4, seed)
 			kv, err := kvssd.Create(v, seg.OID(0x4B, 0), be, true)
 			if err != nil {
 				panic(err)
 			}
-			g := trace.NewKVGen(21, keys, mix, 256)
+			g := trace.NewKVGen(seed+20, keys, mix, 256)
 			for _, k := range g.LoadKeys() {
 				if err := kv.Put(trace.Key(k), g.Value(k)); err != nil {
 					panic(err)
@@ -154,12 +154,12 @@ func KVStore() Result {
 
 // NVMeoF reproduces the §2 remote-storage result: 4 KiB and 64 KiB
 // accesses over NVMe-oF on each application-selected transport.
-func NVMeoF() Result {
+func NVMeoF(seed uint64) Result {
 	r := Result{ID: "E14", Title: "§2 — NVMe-oF across application-selected transports"}
 	r.Table.Header = []string{"transport", "4K read", "4K write", "64K read", "local flash", "remote tax"}
 	local := nvme.DefaultConfig("x").ReadLatency
 	for _, kind := range transport.Kinds() {
-		eng := sim.NewEngine(1)
+		eng := sim.NewEngine(seed)
 		net := netsim.New(eng, netsim.DefaultConfig())
 		tn, _ := net.Attach("tgt")
 		in, _ := net.Attach("ini")

@@ -12,11 +12,11 @@ import (
 // §4 discussion question: distributed CPU-free applications over
 // multiple DPUs. A client-routed, replicated KV runs over 1/2/4 DPUs;
 // the harness reports shard balance and the replication/failover cost.
-func ClusterScaleOut() Result {
+func ClusterScaleOut(seed uint64) Result {
 	r := Result{ID: "X1", Title: "§4 — beyond one DPU: client-routed KV over a DPU rack"}
 	r.Table.Header = []string{"dpus", "replicas", "ops", "mean put", "mean get", "max shard load", "failover works"}
 	for _, tc := range []struct{ nodes, replicas int }{{1, 1}, {2, 1}, {4, 1}, {4, 3}} {
-		eng := sim.NewEngine(1)
+		eng := sim.NewEngine(seed)
 		net := netsim.New(eng, netsim.DefaultConfig())
 		c, err := cluster.New(eng, net, tc.nodes, tc.replicas)
 		if err != nil {

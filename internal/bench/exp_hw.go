@@ -16,8 +16,8 @@ import (
 )
 
 // bootDPU builds a standard experiment DPU.
-func bootDPU(name string) (*sim.Engine, *core.DPU) {
-	eng := sim.NewEngine(1)
+func bootDPU(name string, seed uint64) (*sim.Engine, *core.DPU) {
+	eng := sim.NewEngine(seed)
 	net := netsim.New(eng, netsim.DefaultConfig())
 	cfg := core.DefaultConfig(name)
 	cfg.NVMe.Blocks = 1 << 20
@@ -33,7 +33,7 @@ func bootDPU(name string) (*sim.Engine, *core.DPU) {
 // Table1 reproduces Table 1 as a measurement: the same logical request
 // (network in → compute → storage → network out) walked through each
 // prior-art integration model versus Hyperion's unified path.
-func Table1() Result {
+func Table1(_ uint64) Result {
 	r := Result{ID: "E1", Title: "Table 1 — CPU involvement across integration models"}
 	r.Table.Header = []string{"model", "cpu-touches", "pcie-hops", "copies", "latency", "what's missing"}
 	paths := append(baseline.Table1Paths(), baseline.HyperionPath())
@@ -57,10 +57,10 @@ func Table1() Result {
 
 // Fig2 reproduces Figure 2 by driving requests through the assembled
 // datapath and reporting per-stage latency.
-func Fig2() Result {
+func Fig2(seed uint64) Result {
 	r := Result{ID: "E2", Title: "Figure 2 — end-to-end datapath stage latency"}
 	r.Table.Header = []string{"blocks", "arbiter", "pipeline", "storage", "egress", "total"}
-	eng, d := bootDPU("fig2")
+	eng, d := bootDPU("fig2", seed)
 	if err := d.LoadAccelerator(0, core.ProbeBitstream(d.Cfg.AuthTag), nil); err != nil {
 		panic(err)
 	}
@@ -88,14 +88,14 @@ func Fig2() Result {
 // Energy reproduces the §2 volume/energy claims: max-TDP and volume
 // ratios, plus measured joules-per-op for a storage-read service on
 // both platforms.
-func Energy() Result {
+func Energy(seed uint64) Result {
 	r := Result{ID: "E3", Title: "§2 — volume and energy: Hyperion vs 1U server"}
 	r.Table.Header = []string{"platform", "max TDP (W)", "volume (L)", "µJ/op @ 4K read", "ops run"}
 	hy, srv := energy.Hyperion(), energy.Server1U()
 
 	const ops = 20000
 	// Hyperion: requests ride the Figure 2 path.
-	eng, d := bootDPU("energy")
+	eng, d := bootDPU("energy", seed)
 	if err := d.LoadAccelerator(0, core.ProbeBitstream(d.Cfg.AuthTag), nil); err != nil {
 		panic(err)
 	}
@@ -124,7 +124,7 @@ func Energy() Result {
 
 	// 1U server: same logical service through the CPU-centric
 	// storage+network path model at the same concurrency.
-	eng2 := sim.NewEngine(2)
+	eng2 := sim.NewEngine(seed + 1)
 	cpu := baseline.NewTimeSharedCPU(eng2, 16)
 	path := baseline.Table1Paths()[3] // storage+network
 	perReq := path.Totals().Latency
@@ -160,10 +160,10 @@ func Energy() Result {
 
 // Reconfig reproduces the §2 partial-reconfiguration claim: bitstream
 // size sweep through the ICAP model, expecting the 10–100 ms window.
-func Reconfig() Result {
+func Reconfig(seed uint64) Result {
 	r := Result{ID: "E4", Title: "§2 — partial dynamic reconfiguration timescale"}
 	r.Table.Header = []string{"bitstream", "size (MiB)", "reconfig time"}
-	eng := sim.NewEngine(1)
+	eng := sim.NewEngine(seed)
 	f := fabric.New(eng, fabric.DefaultConfig(), "k")
 	for _, mb := range []int64{1, 4, 8, 16, 32, 40, 64} {
 		bs := &fabric.Bitstream{
@@ -187,12 +187,12 @@ func Reconfig() Result {
 // latency distribution of a fixed computation on a dedicated fabric
 // slot with hostile co-tenants, versus the same work on a time-shared
 // CPU host.
-func Predictability() Result {
+func Predictability(seed uint64) Result {
 	r := Result{ID: "E5", Title: "§2 — predictable performance under co-location"}
 	r.Table.Header = []string{"platform", "p50", "p99", "p99.9", "max", "p99/p50"}
 
 	// Hyperion: tenant in slot 0, noisy neighbours saturating slots 1-4.
-	eng, d := bootDPU("jitter")
+	eng, d := bootDPU("jitter", seed)
 	mk := func(name string, ii int) *fabric.Bitstream {
 		return &fabric.Bitstream{Name: name, SizeBytes: 4 << 20,
 			Depth: 20, II: ii, AuthTag: d.Cfg.AuthTag, Process: func(in any) any { return in }}
@@ -229,7 +229,7 @@ func Predictability() Result {
 	eng.Run()
 
 	// Host: same service time on a time-shared CPU with background load.
-	eng2 := sim.NewEngine(3)
+	eng2 := sim.NewEngine(seed + 2)
 	cpu := baseline.NewTimeSharedCPU(eng2, 4)
 	var cl sim.LatencyRecorder
 	for i := 0; i < samples; i++ {
@@ -264,7 +264,7 @@ func maxDur(a, b sim.Duration) sim.Duration {
 // object-granular segment translation (one 2 MiB object = one entry)
 // against page-granular virtual memory (the same object = 512 pages and
 // 4-level walks) across working-set sizes.
-func SegmentVsPage() Result {
+func SegmentVsPage(seed uint64) Result {
 	r := Result{ID: "E6", Title: "§2.1 — segment translation vs page walks"}
 	r.Table.Header = []string{"objects (2MiB)", "pages (4KiB)", "seg ns/access", "seg hit%", "page ns/access", "tlb hit%", "walk/seg"}
 	const accesses = 200000
@@ -272,7 +272,7 @@ func SegmentVsPage() Result {
 	const pagesPerObj = objBytes / 4096
 	for _, ws := range []int{64, 512, 4096} {
 		// Segment side: ws objects, one descriptor each, zipf access.
-		eng := sim.NewEngine(1)
+		eng := sim.NewEngine(seed)
 		ncfg := nvme.DefaultConfig("e6")
 		ncfg.Blocks = 1 << 22
 		host := nvme.NewHost(nvme.New(eng, ncfg), nil)
@@ -286,7 +286,7 @@ func SegmentVsPage() Result {
 				panic(err)
 			}
 		}
-		rng := sim.NewRand(9)
+		rng := sim.NewRand(seed + 8)
 		zip := sim.NewZipf(rng, uint64(ws), 0.9)
 		var segCost sim.Duration
 		for i := 0; i < accesses; i++ {
@@ -301,7 +301,7 @@ func SegmentVsPage() Result {
 		// Page side: the same accesses land on a random 4 KiB page of
 		// the chosen object, so the TLB sees a 512×-larger key space.
 		w := baseline.NewPageWalker(1024)
-		rng2 := sim.NewRand(9)
+		rng2 := sim.NewRand(seed + 8)
 		zip2 := sim.NewZipf(rng2, uint64(ws), 0.9)
 		var pageCost sim.Duration
 		for i := 0; i < accesses; i++ {
@@ -323,10 +323,10 @@ func SegmentVsPage() Result {
 // EBPFPipeline reproduces the §2.2 programming-stack numbers: verifier
 // coverage, interpreter vs compiled-pipeline throughput, and warping
 // gains.
-func EBPFPipeline() Result {
+func EBPFPipeline(seed uint64) Result {
 	r := Result{ID: "E10", Title: "§2.2 — eBPF IR: verify, warp, pipeline"}
 	r.Table.Header = []string{"program", "insns", "warped", "depth", "II", "interp ns/pkt", "pipeline ns/pkt", "speedup"}
-	eng := sim.NewEngine(1)
+	eng := sim.NewEngine(seed)
 	f := fabric.New(eng, fabric.DefaultConfig(), "k")
 	progs := e10Programs
 	slot := 0

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"hyperion/internal/core"
+	"hyperion/internal/fault"
 	"hyperion/internal/netsim"
 	"hyperion/internal/rpc"
 	"hyperion/internal/seg"
@@ -126,6 +127,27 @@ func (c *Cluster) MarkDown(i int) { c.Nodes[i].down = true }
 
 // MarkUp revives a node.
 func (c *Cluster) MarkUp(i int) { c.Nodes[i].down = false }
+
+// Crashes reports how many crash windows ScheduleCrashes installed.
+type Crashes struct {
+	Windows int
+}
+
+// ScheduleCrashes installs deterministic node crash/restart cycles
+// derived from the plan (kind Crash): node picking and window timing
+// both come from the plan's seeded stream, each window marks one node
+// down at Start and back up at End. The schedule is precomputed and
+// bounded by horizon, so it adds a finite set of engine events. A nil
+// or zero-rate plan installs nothing.
+func (c *Cluster) ScheduleCrashes(plan *fault.Plan, horizon sim.Time, meanUp, downFor sim.Duration) Crashes {
+	windows := plan.Windows(fault.Crash, horizon, meanUp, downFor)
+	for _, w := range windows {
+		node := plan.Pick(len(c.Nodes))
+		c.Eng.At(w.Start, "cluster.crash", func() { c.MarkDown(node) })
+		c.Eng.At(w.End, "cluster.restart", func() { c.MarkUp(node) })
+	}
+	return Crashes{Windows: len(windows)}
+}
 
 // shardOf hashes a key to its primary node.
 func shardOf(key []byte, n int) int {

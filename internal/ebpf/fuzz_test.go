@@ -1,0 +1,66 @@
+package ebpf
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzDecodeVerifyLoad drives arbitrary bytes through the whole
+// program-loading pipeline — Decode, Verify, Load, and (when the
+// verifier accepts) both execution backends. The contract under fuzz
+// is absolute: no input may panic any stage, and hostile inputs must
+// be rejected with errors, not executed. For accepted programs the
+// compiled backend must agree with the reference interpreter
+// bit-for-bit, so the fuzzer doubles as a differential test.
+func FuzzDecodeVerifyLoad(f *testing.F) {
+	// Seed with valid programs so the fuzzer starts inside the
+	// interesting region (mutations of well-formed encodings) instead
+	// of spending its budget on trivially-truncated garbage.
+	seeds := []string{
+		"mov r0, 0\nexit",
+		"mov r0, 1\nadd r0, 41\nexit",
+		"ldxw r0, [r1+0]\nexit",
+		"mov r2, 5\nstxdw [r10-8], r2\nldxdw r0, [r10-8]\nexit",
+		"mov r0, 0\njeq r0, 1, skip\nadd r0, 10\nskip: add r0, 100\nexit",
+	}
+	for _, src := range seeds {
+		f.Add(Encode(MustAssemble(src)))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x18, 0, 0, 0, 1, 0, 0, 0}) // LDDW missing its second half
+	f.Add(make([]byte, 8*(MaxInsns+1)))      // over the instruction limit
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		prog, err := Decode(raw)
+		if err != nil {
+			return
+		}
+		maps := &MapSet{}
+		maps.Add(NewArrayMap(8, 4))
+		if err := Verify(prog, DefaultVerifierConfig(maps)); err != nil {
+			return
+		}
+		// The verifier accepted: loading and running must also be safe.
+		vm := NewVM(maps)
+		if err := vm.Load(prog); err != nil {
+			t.Fatalf("verified program failed to load: %v", err)
+		}
+		ctx := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+		got, gotErr := vm.Run(append([]byte(nil), ctx...))
+		iv := NewVM(maps)
+		if err := iv.Load(prog); err != nil {
+			t.Fatalf("verified program failed to load (interpreter): %v", err)
+		}
+		iv.noCompile = true
+		want, wantErr := iv.RunInterpreted(append([]byte(nil), ctx...))
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("backend error divergence: compiled=%v interpreted=%v", gotErr, wantErr)
+		}
+		if gotErr == nil && got != want {
+			t.Fatalf("backend result divergence: compiled=%#x interpreted=%#x", got, want)
+		}
+		if gotErr != nil && !errors.Is(gotErr, wantErr) && gotErr.Error() != wantErr.Error() {
+			t.Fatalf("backend error text divergence: compiled=%v interpreted=%v", gotErr, wantErr)
+		}
+	})
+}

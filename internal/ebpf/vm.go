@@ -186,6 +186,11 @@ func jumpTargets(prog []Instruction) ([]int, error) {
 	}
 	targets := make([]int, len(prog))
 	for i, ins := range prog {
+		// Decoded register nibbles span 0..15 but only NumRegs exist;
+		// rejecting here covers both Verify and a bare Load.
+		if ins.Dst >= NumRegs || ins.Src >= NumRegs {
+			return nil, fmt.Errorf("ebpf: insn %d: register out of range (dst r%d, src r%d)", i, ins.Dst, ins.Src)
+		}
 		targets[i] = -1
 		cls := ins.Class()
 		if cls != ClassJMP && cls != ClassJMP32 {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"hyperion/internal/fault"
 	"hyperion/internal/sim"
 )
 
@@ -27,14 +28,16 @@ type Stream struct {
 	WidthBytes int // bus width per beat, e.g. 64 for 512-bit AXIS
 	DepthItems int // FIFO capacity in items
 
-	eng     *sim.Engine
-	period  sim.Duration // one beat
-	sink    func(Item)
-	queue   []Item
-	busy    bool
-	Pushed  int64
-	Dropped int64
-	Bytes   int64
+	eng        *sim.Engine
+	period     sim.Duration // one beat
+	sink       func(Item)
+	queue      []Item
+	busy       bool
+	plan       *fault.Plan
+	Pushed     int64
+	Dropped    int64 // backpressure drops (FIFO full)
+	FaultDrops int64 // injected drops (item consumed bus beats, then discarded)
+	Bytes      int64
 }
 
 // NewStream creates a stream clocked at clockHz.
@@ -53,6 +56,12 @@ func NewStream(eng *sim.Engine, name string, clockHz int64, widthBytes, depthIte
 
 // Connect sets the downstream sink. It must be called before Push.
 func (s *Stream) Connect(sink func(Item)) { s.sink = sink }
+
+// SetFaultPlan installs a fault plan consulted once per delivered item
+// (kind Drop: the item occupies its bus beats, then is discarded before
+// the sink — a parity-error squash at the AXIS boundary). A nil or
+// zero-rate plan leaves delivery bit-identical to an unhooked stream.
+func (s *Stream) SetFaultPlan(p *fault.Plan) { s.plan = p }
 
 // Len returns the current FIFO occupancy.
 func (s *Stream) Len() int { return len(s.queue) }
@@ -91,7 +100,11 @@ func (s *Stream) deliverNext() {
 	}
 	s.eng.After(sim.Duration(beats)*s.period, "stream:"+s.Name, func() {
 		s.queue = s.queue[1:]
-		s.sink(it)
+		if s.plan.Roll(fault.Drop) {
+			s.FaultDrops++
+		} else {
+			s.sink(it)
+		}
 		s.deliverNext()
 	})
 }

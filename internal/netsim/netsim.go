@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 
+	"hyperion/internal/fault"
 	"hyperion/internal/sim"
 )
 
@@ -63,6 +64,7 @@ type NIC struct {
 	txBusy             sim.Time // serialization horizon of the host→switch link
 	TxFrames, RxFrames int64
 	TxBytes, RxBytes   int64
+	RxCorrupt          int64 // frames discarded by the NIC's integrity check
 }
 
 // OnReceive installs the receive handler.
@@ -110,8 +112,13 @@ type Network struct {
 	outBusy  map[Addr]sim.Time
 	outQueue map[Addr]int
 
-	Drops    int64
-	Forwards int64
+	plan *fault.Plan
+
+	Drops         int64 // congestion drops (output queue full)
+	Forwards      int64
+	FaultDrops    int64 // injected frame drops
+	FaultCorrupts int64 // injected frame corruptions
+	FaultReorders int64 // injected frame reorderings
 }
 
 // New creates an empty network.
@@ -130,6 +137,20 @@ func New(eng *sim.Engine, cfg Config) *Network {
 
 // Config returns the network configuration.
 func (n *Network) Config() Config { return n.cfg }
+
+// SetFaultPlan installs a fault plan consulted once per forwarded frame
+// (kinds Drop, Corrupt, Reorder). A nil plan — the default — or a plan
+// with all rates at zero leaves the forwarding path bit-identical to an
+// uninstrumented network.
+func (n *Network) SetFaultPlan(p *fault.Plan) { n.plan = p }
+
+// Reorder slip bounds: an injected reorder delays one frame by a
+// uniform extra latency in this window, enough to slip behind several
+// back-to-back successors at 100 GbE but far below transport RTOs.
+const (
+	reorderSlipLo = 2 * sim.Microsecond
+	reorderSlipHi = 20 * sim.Microsecond
+)
 
 // Attach adds a NIC with the given address.
 func (n *Network) Attach(addr Addr) (*NIC, error) {
@@ -156,7 +177,13 @@ func (n *Network) serTime(b int) sim.Duration {
 }
 
 // switchForward queues the frame on the destination's output port.
+// Fault rolls happen here, in arrival order, so an installed plan's
+// injections replay identically for a given seed.
 func (n *Network) switchForward(f Frame, dst *NIC) {
+	if n.plan.Roll(fault.Drop) {
+		n.FaultDrops++
+		return
+	}
 	if n.outQueue[f.Dst] >= n.cfg.QueueFrames {
 		n.Drops++
 		return
@@ -172,9 +199,25 @@ func (n *Network) switchForward(f Frame, dst *NIC) {
 	ser := n.serTime(f.Bytes)
 	n.outBusy[f.Dst] = start.Add(ser)
 	deliver := n.outBusy[f.Dst].Add(n.cfg.PropDelay)
+	corrupt := n.plan.Roll(fault.Corrupt)
+	if corrupt {
+		n.FaultCorrupts++
+	}
+	if n.plan.Roll(fault.Reorder) {
+		// Slip this frame only: successors keep their port schedule, so
+		// they overtake it in delivery order.
+		n.FaultReorders++
+		deliver = deliver.Add(n.plan.Delay(reorderSlipLo, reorderSlipHi))
+	}
 	n.Forwards++
 	n.eng.At(deliver, "net.downlink:"+string(f.Dst), func() {
 		n.outQueue[f.Dst]--
+		if corrupt {
+			// The frame arrived but failed the NIC's FCS check: count
+			// and discard without surfacing it to the stack.
+			dst.RxCorrupt++
+			return
+		}
 		dst.RxFrames++
 		dst.RxBytes += int64(f.Bytes)
 		if dst.recv != nil {

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 
+	"hyperion/internal/fault"
 	"hyperion/internal/sim"
 )
 
@@ -27,6 +28,10 @@ const (
 	StatusInvalidOp uint16 = 0x01
 	// StatusInternal is the injected-fault status (media error class).
 	StatusInternal uint16 = 0x06
+	// StatusTimeout is synthesized by the Host when a command misses its
+	// deadline; the device never posts it. (0xFFFF is already claimed by
+	// seg's enqueue-failure sentinel, so the host uses 0xFFFD.)
+	StatusTimeout uint16 = 0xFFFD
 )
 
 // Doorbell register layout within the BAR: doorbell for queue q is at
@@ -110,6 +115,10 @@ type Device struct {
 	failProb float64
 	failRand *sim.Rand
 
+	// plan is the richer fault plane (media errors, swallowed commands,
+	// transient read corruption); see SetFaultPlan.
+	plan *fault.Plan
+
 	Counters sim.CounterSet
 }
 
@@ -119,6 +128,15 @@ func (d *Device) InjectFaults(prob float64, seed uint64) {
 	d.failProb = prob
 	d.failRand = sim.NewRand(seed)
 }
+
+// SetFaultPlan installs a fault plan consulted once per I/O command
+// (kinds MediaErr → StatusInternal completion, Timeout → the command is
+// swallowed and never completes, exercising host deadlines, Corrupt →
+// one byte of a read's returned payload is flipped in flight; the
+// stored data stays intact, so a reread succeeds). A nil or zero-rate
+// plan leaves command execution bit-identical to an unhooked device.
+// The functional Sync path is never affected.
+func (d *Device) SetFaultPlan(p *fault.Plan) { d.plan = p }
 
 type queuePair struct {
 	id       int
@@ -250,6 +268,19 @@ func (d *Device) execute(qp *queuePair, cmd Command) {
 			d.after(d.cfg.CtrlOverhead+d.cfg.ReadLatency, func() { complete(StatusInternal, nil) })
 			return
 		}
+		if d.plan.Roll(fault.Timeout) {
+			// Firmware hang: the command is consumed — its slot frees once
+			// the controller abandons it — but no completion is ever
+			// posted. Only a host-side deadline surfaces it.
+			d.Counters.Get("injected_timeouts").Add(1)
+			d.after(d.cfg.CtrlOverhead, func() { qp.inFlight-- })
+			return
+		}
+		if d.plan.Roll(fault.MediaErr) {
+			d.Counters.Get("injected_media_errors").Add(1)
+			d.after(d.cfg.CtrlOverhead+d.cfg.ReadLatency, func() { complete(StatusInternal, nil) })
+			return
+		}
 		d.accessFlash(cmd, complete)
 	default:
 		d.after(d.cfg.CtrlOverhead, func() { complete(StatusInvalidOp, nil) })
@@ -284,6 +315,13 @@ func (d *Device) accessFlash(cmd Command, complete func(uint16, []byte)) {
 		d.Counters.Get("read_blocks").Add(int64(cmd.Blocks))
 		d.after(flashDone, func() {
 			data := d.readStore(cmd.LBA, cmd.Blocks)
+			if d.plan.Roll(fault.Corrupt) && len(data) > 0 {
+				// Transient in-flight corruption: the returned copy is
+				// damaged, the store is not, so a checksum-driven reread
+				// observes clean data.
+				d.Counters.Get("injected_corruptions").Add(1)
+				data[d.plan.Pick(len(data))] ^= 0xA5
+			}
 			d.transfer(size, func() { complete(StatusOK, data) })
 		})
 	} else {
@@ -395,7 +433,10 @@ type Host struct {
 	ring     func(q int) // doorbell write (via PCIe MMIO in the full system)
 	nextCID  uint16
 	pending  map[uint16]func(Completion)
+	deadline sim.Duration // 0 = no deadline (the default)
+	timers   map[uint16]sim.EventRef
 	QueueErr int64
+	Timeouts int64 // deadline-synthesized StatusTimeout completions
 }
 
 // NewHost builds a driver for dev. ring performs the doorbell write for
@@ -406,9 +447,25 @@ func NewHost(dev *Device, ring func(q int)) *Host {
 	return h
 }
 
+// SetDeadline arms a per-command timeout: if the device has not posted
+// a completion within d of submission, the host synthesizes a
+// StatusTimeout completion and forgets the command (a late device
+// completion for it is dropped). Zero — the default — disables
+// deadlines and leaves submission bit-identical to the unarmed driver.
+func (h *Host) SetDeadline(d sim.Duration) {
+	h.deadline = d
+	if d > 0 && h.timers == nil {
+		h.timers = make(map[uint16]sim.EventRef)
+	}
+}
+
 func (h *Host) onInterrupt(qid int, c Completion) {
 	if cb, ok := h.pending[c.CID]; ok {
 		delete(h.pending, c.CID)
+		if ref, armed := h.timers[c.CID]; armed {
+			h.dev.eng.Cancel(ref)
+			delete(h.timers, c.CID)
+		}
 		cb(c)
 	}
 }
@@ -423,6 +480,17 @@ func (h *Host) Submit(q int, cmd Command, cb func(Completion)) error {
 	}
 	if cb != nil {
 		h.pending[cmd.CID] = cb
+		if h.deadline > 0 {
+			cid := cmd.CID
+			h.timers[cid] = h.dev.eng.After(h.deadline, "nvme.deadline:"+h.dev.cfg.Name, func() {
+				if pcb, ok := h.pending[cid]; ok {
+					delete(h.pending, cid)
+					delete(h.timers, cid)
+					h.Timeouts++
+					pcb(Completion{CID: cid, Status: StatusTimeout})
+				}
+			})
+		}
 	}
 	if h.ring != nil {
 		h.ring(q)

@@ -8,10 +8,12 @@ package nvmeof
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"hyperion/internal/netsim"
 	"hyperion/internal/nvme"
 	"hyperion/internal/rpc"
+	"hyperion/internal/sim"
 )
 
 // Method names on the wire.
@@ -105,6 +107,17 @@ type Initiator struct {
 	c      *rpc.Client
 	target netsim.Addr
 	bs     int
+
+	// Retry policy. Zero values (the default) keep every verb a single
+	// attempt, byte-identical to the unarmed initiator. With
+	// MaxRetries > 0, transient failures — request timeouts and remote
+	// device-status errors (media errors are transient in this model) —
+	// are retried up to that many extra times with RetryBackoff<<attempt
+	// between attempts.
+	MaxRetries   int
+	RetryBackoff sim.Duration
+
+	Retries int64 // retry attempts actually issued
 }
 
 // NewInitiator builds an initiator talking to target. blockSize must
@@ -113,16 +126,61 @@ func NewInitiator(c *rpc.Client, target netsim.Addr, blockSize int) *Initiator {
 	return &Initiator{c: c, target: target, bs: blockSize}
 }
 
+// retryable reports whether an error is worth another attempt: a
+// timed-out request or a remote NVMe status error. Remote errors cross
+// the wire as strings, so ErrStatus is matched by its message.
+func (i *Initiator) retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, rpc.ErrTimeout) {
+		return true
+	}
+	return errors.Is(err, rpc.ErrRemote) && strings.Contains(err.Error(), ErrStatus.Error())
+}
+
+// withRetry drives op until it succeeds, fails permanently, or exhausts
+// the retry budget. op must invoke its callback exactly once.
+func (i *Initiator) withRetry(op func(cb func(err error)), cb func(err error)) {
+	var try func(n int)
+	try = func(n int) {
+		op(func(err error) {
+			if i.retryable(err) && n < i.MaxRetries {
+				i.Retries++
+				backoff := i.RetryBackoff << uint(n)
+				if backoff > 0 {
+					i.c.Engine().After(backoff, "nvmeof.retry", func() { try(n + 1) })
+				} else {
+					try(n + 1)
+				}
+				return
+			}
+			cb(err)
+		})
+	}
+	try(0)
+}
+
 // Read fetches blocks; cb receives the data.
 func (i *Initiator) Read(lba int64, blocks int, cb func(data []byte, err error)) {
-	i.c.Call(i.target, MethodRead, ReadArgs{LBA: lba, Blocks: blocks}, 64, func(val any, err error) {
+	var data []byte
+	i.withRetry(func(done func(error)) {
+		i.c.Call(i.target, MethodRead, ReadArgs{LBA: lba, Blocks: blocks}, 64, func(val any, err error) {
+			if err != nil {
+				done(err)
+				return
+			}
+			d, ok := val.([]byte)
+			if !ok {
+				done(fmt.Errorf("nvmeof: bad response %T", val))
+				return
+			}
+			data = d
+			done(nil)
+		})
+	}, func(err error) {
 		if err != nil {
 			cb(nil, err)
-			return
-		}
-		data, ok := val.([]byte)
-		if !ok {
-			cb(nil, fmt.Errorf("nvmeof: bad response %T", val))
 			return
 		}
 		cb(data, nil)
@@ -135,12 +193,16 @@ func (i *Initiator) Write(lba int64, data []byte, cb func(err error)) {
 		cb(fmt.Errorf("nvmeof: unaligned write of %d bytes", len(data)))
 		return
 	}
-	i.c.Call(i.target, MethodWrite, WriteArgs{LBA: lba, Data: data}, len(data)+64, func(val any, err error) {
-		cb(err)
-	})
+	i.withRetry(func(done func(error)) {
+		i.c.Call(i.target, MethodWrite, WriteArgs{LBA: lba, Data: data}, len(data)+64, func(val any, err error) {
+			done(err)
+		})
+	}, cb)
 }
 
 // Flush hardens all writes.
 func (i *Initiator) Flush(cb func(err error)) {
-	i.c.Call(i.target, MethodFlush, nil, 64, func(val any, err error) { cb(err) })
+	i.withRetry(func(done func(error)) {
+		i.c.Call(i.target, MethodFlush, nil, 64, func(val any, err error) { done(err) })
+	}, cb)
 }

@@ -150,7 +150,19 @@ type Client struct {
 	pending map[uint64]*pendingCall
 	Timeout sim.Duration
 
+	// Retry policy. All three fields default to zero, which preserves
+	// single-attempt semantics exactly (same events, same counters). With
+	// MaxRetries > 0, a timed-out call is retried up to that many extra
+	// times, waiting RetryBackoff<<attempt between attempts; if
+	// DeadlineBudget > 0 the whole call (attempts + backoffs) must fit
+	// within that budget measured from the first Send, otherwise the
+	// caller sees ErrTimeout without further retries.
+	MaxRetries     int
+	RetryBackoff   sim.Duration
+	DeadlineBudget sim.Duration
+
 	Calls, Timeouts int64
+	Retries         int64 // retry attempts actually issued
 }
 
 type pendingCall struct {
@@ -164,6 +176,10 @@ func NewClient(eng *sim.Engine, ep transport.Endpoint) *Client {
 	ep.OnMessage(c.onMessage)
 	return c
 }
+
+// Engine exposes the client's engine so layers above (e.g. nvmeof) can
+// schedule their own retry backoffs on the same clock.
+func (c *Client) Engine() *sim.Engine { return c.eng }
 
 func (c *Client) onMessage(src netsim.Addr, msg transport.Message) {
 	resp, ok := msg.Payload.(response)
@@ -185,8 +201,45 @@ func (c *Client) onMessage(src netsim.Addr, msg transport.Message) {
 }
 
 // Call sends a request of argBytes wire size and invokes cb with the
-// response or error. cb runs exactly once.
+// response or error. cb runs exactly once. When the client's retry
+// policy is armed (MaxRetries > 0), timed-out attempts are retried
+// with exponential backoff inside the deadline budget before cb sees
+// ErrTimeout.
 func (c *Client) Call(dst netsim.Addr, method string, arg any, argBytes int, cb func(val any, err error)) {
+	if c.MaxRetries <= 0 {
+		c.attempt(dst, method, arg, argBytes, cb)
+		return
+	}
+	var deadline sim.Time
+	if c.DeadlineBudget > 0 {
+		deadline = c.eng.Now().Add(c.DeadlineBudget)
+	}
+	var try func(n int)
+	try = func(n int) {
+		c.attempt(dst, method, arg, argBytes, func(val any, err error) {
+			if errors.Is(err, ErrTimeout) && n < c.MaxRetries {
+				backoff := c.RetryBackoff << uint(n)
+				// Retry only if another full attempt can still fit in the
+				// budget; otherwise surface the timeout now rather than
+				// burning the caller's remaining time on a doomed attempt.
+				if deadline == 0 || c.eng.Now().Add(backoff+c.Timeout) <= deadline {
+					c.Retries++
+					if backoff > 0 {
+						c.eng.After(backoff, "rpc.retry", func() { try(n + 1) })
+					} else {
+						try(n + 1)
+					}
+					return
+				}
+			}
+			cb(val, err)
+		})
+	}
+	try(0)
+}
+
+// attempt issues one wire attempt with its own timeout timer.
+func (c *Client) attempt(dst netsim.Addr, method string, arg any, argBytes int, cb func(val any, err error)) {
 	c.Calls++
 	c.nextID++
 	id := c.nextID

@@ -75,6 +75,13 @@ type Config struct {
 	CacheEntries int
 	// CheckpointEvery persists the table after this many mutations.
 	CheckpointEvery int
+	// ChecksumReads arms end-to-end integrity on the queued NVMe path:
+	// the store records a per-block CRC on every device write and
+	// verifies it on every device read, rereading up to crcMaxRereads
+	// times on mismatch (transient corruption) before failing the read
+	// with StatusChecksum. Off by default: the unarmed datapath is
+	// byte-identical to a store built before this field existed.
+	ChecksumReads bool
 }
 
 // DefaultConfig matches the Hyperion card: 32 GiB DRAM at ~100 ns /
@@ -104,6 +111,7 @@ type Store struct {
 	cache  *lruCache
 	dirty  int
 	rrNext int
+	crcs   map[int64]uint32 // per-block CRCs; nil unless ChecksumReads
 
 	Counters sim.CounterSet
 	// Lookups / CacheHits drive the E6 translation experiment.
@@ -139,6 +147,9 @@ func New(eng *sim.Engine, cfg Config, devs []*nvme.Host) *Store {
 	}
 	if cfg.CacheEntries > 0 {
 		s.cache = newLRU(cfg.CacheEntries)
+	}
+	if cfg.ChecksumReads {
+		s.crcs = make(map[int64]uint32)
 	}
 	return s
 }
@@ -382,12 +393,19 @@ func padToBlocks(b []byte, bs int) []byte {
 }
 
 func (s *Store) devRead(dev int, lba int64, blocks int, cb func([]byte, uint16)) {
+	if s.crcs != nil {
+		s.devReadVerified(dev, lba, blocks, 0, cb)
+		return
+	}
 	if err := s.devs[dev].Read(0, lba, blocks, cb); err != nil {
 		cb(nil, 0xFFFF)
 	}
 }
 
 func (s *Store) devWrite(dev int, lba int64, data []byte, cb func(error)) {
+	if s.crcs != nil {
+		s.recordCRCs(dev, lba, data)
+	}
 	err := s.devs[dev].Write(0, lba, data, func(st uint16) {
 		if cb == nil {
 			return

@@ -263,6 +263,67 @@ func TestPropertyMatchesModel(t *testing.T) {
 	}
 }
 
+// TestPropertyScanMatchesModel closes the oracle gaps in
+// TestPropertyMatchesModel: after a random insert/delete workload,
+// deleted keys must read back absent, and a full-range Scan must visit
+// exactly the model's keys in sorted order — so structural damage that
+// happens to preserve point lookups (lost leaves, broken sibling
+// links, misordered splits) still gets caught.
+func TestPropertyScanMatchesModel(t *testing.T) {
+	f := func(seed uint64) bool {
+		v := newView(t)
+		tr := newTree(t, v)
+		r := sim.NewRand(seed)
+		model := map[uint64]uint64{}
+		touched := map[uint64]bool{}
+		for i := 0; i < 600; i++ {
+			k := r.Uint64() % 400
+			touched[k] = true
+			if r.Intn(3) < 2 {
+				val := r.Uint64()
+				model[k] = val
+				if tr.Insert(k, val) != nil {
+					return false
+				}
+			} else {
+				delete(model, k)
+				if _, err := tr.Delete(k); err != nil {
+					return false
+				}
+			}
+		}
+		// Every key ever touched but currently deleted must be absent.
+		for k := range touched {
+			if _, inModel := model[k]; inModel {
+				continue
+			}
+			if _, ok, err := tr.Get(k); err != nil || ok {
+				return false
+			}
+		}
+		// A full scan yields the model, sorted, each exactly once.
+		var prev uint64
+		first := true
+		seen := 0
+		err := tr.Scan(0, ^uint64(0), func(k, val uint64) bool {
+			if !first && k <= prev {
+				return false
+			}
+			first, prev = false, k
+			want, ok := model[k]
+			if !ok || want != val {
+				return false
+			}
+			seen++
+			return true
+		})
+		return err == nil && seen == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestDecodeNodeRejectsGarbage(t *testing.T) {
 	if _, err := decodeNode(make([]byte, 10)); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("short err = %v", err)

@@ -1,0 +1,50 @@
+package hyperion
+
+import (
+	"fmt"
+	"testing"
+
+	"hyperion/internal/bench"
+)
+
+// TestMetamorphicDeterminism is the seed-sweep form of the determinism
+// contract: for EVERY experiment and a spread of seeds (not just the
+// golden DefaultSeed), two runs at the same seed must render
+// byte-identical tables. hyperlint proves the absence of banned
+// nondeterminism sources syntactically; this catches what analysis
+// can't see — map-order leaks, engine-sharing bugs, stale package
+// state — because such bugs almost never reproduce identically twice
+// across five different seeds. Subtests run in parallel; every
+// experiment owns private engines.
+func TestMetamorphicDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment 10 times")
+	}
+	seeds := []uint64{1, 2, 3, 5, 8}
+	for _, e := range bench.All() {
+		for _, seed := range seeds {
+			e, seed := e, seed
+			t.Run(fmt.Sprintf("%s/seed%d", e.ID, seed), func(t *testing.T) {
+				t.Parallel()
+				r1 := e.RunSeeded(seed)
+				r2 := e.RunSeeded(seed)
+				a, b := r1.Table.String(), r2.Table.String()
+				if a != b {
+					t.Fatalf("%s diverged across two runs at seed %d:\n--- first ---\n%s\n--- second ---\n%s",
+						e.ID, seed, a, b)
+				}
+				if r1.Steps != r2.Steps {
+					t.Fatalf("%s: event counts diverged at seed %d: %d vs %d (tables matched — nondeterminism is off-table)",
+						e.ID, seed, r1.Steps, r2.Steps)
+				}
+				if r1.SimTime != r2.SimTime {
+					t.Fatalf("%s: final virtual clocks diverged at seed %d: %v vs %v",
+						e.ID, seed, r1.SimTime, r2.SimTime)
+				}
+				if len(r1.Table.Rows) == 0 {
+					t.Fatalf("%s produced no rows at seed %d", e.ID, seed)
+				}
+			})
+		}
+	}
+}

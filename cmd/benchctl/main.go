@@ -8,6 +8,7 @@
 //	benchctl -parallel 4 all         # fan experiments out over 4 goroutines
 //	benchctl -json out.json all      # also write machine-readable results
 //	benchctl -compare old.json all   # diff wall/allocs/hashes vs a prior report
+//	benchctl -trace out/ fig2        # run traced; write Perfetto JSON + summaries
 //	benchctl table1                  # run one, by name or id (E1..E14)
 //
 // Parallel runs are deterministic: every experiment owns a private
@@ -28,12 +29,20 @@ func main() {
 	parallel := flag.Int("parallel", 1, "run 'all' across N goroutines, capped at GOMAXPROCS (each experiment keeps its own engine)")
 	jsonPath := flag.String("json", "", "with 'all': write machine-readable per-experiment results to this file")
 	comparePath := flag.String("compare", "", "with 'all': diff results against this prior BENCH_*.json; exit 1 on any table-hash mismatch")
+	tracePath := flag.String("trace", "", "run traced experiments with the telemetry plane armed and write <id>.trace.json/.hist.txt/.critpath.txt to this existing directory")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
 	if len(args) < 1 {
 		usage()
 		os.Exit(2)
+	}
+	if *tracePath != "" {
+		st, err := os.Stat(*tracePath)
+		if err != nil || !st.IsDir() {
+			fmt.Fprintf(os.Stderr, "benchctl: -trace %s: not a directory\n", *tracePath)
+			os.Exit(1)
+		}
 	}
 	switch args[0] {
 	case "list":
@@ -71,6 +80,13 @@ func main() {
 				os.Exit(1)
 			}
 		}
+		if *tracePath != "" {
+			for _, e := range bench.All() {
+				if e.RunTraced != nil {
+					traceOne(e, *tracePath)
+				}
+			}
+		}
 	default:
 		for _, name := range args {
 			e, ok := bench.ByName(name)
@@ -78,11 +94,31 @@ func main() {
 				fmt.Fprintf(os.Stderr, "benchctl: unknown experiment %q (try 'benchctl list')\n", name)
 				os.Exit(1)
 			}
+			if *tracePath != "" && e.RunTraced != nil {
+				traceOne(e, *tracePath)
+				continue
+			}
+			if *tracePath != "" {
+				fmt.Fprintf(os.Stderr, "benchctl: %s has no traced form; running untraced\n", e.ID)
+			}
 			fmt.Println(e.Run().String())
 		}
 	}
 }
 
+// traceOne runs one experiment with tracing armed at the default seed,
+// prints its (golden-identical) table, and writes the trace artifacts.
+func traceOne(e bench.Experiment, dir string) {
+	res, rec, _ := bench.RunTracedExperiment(e, bench.DefaultSeed)
+	fmt.Println(res.String())
+	a, err := bench.WriteTraceArtifacts(dir, e.ID, rec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchctl: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("trace artifacts: %s %s %s\n", a.TraceJSON, a.HistTXT, a.CritTXT)
+}
+
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: benchctl [-parallel N] [-json path] [-compare old.json] list | all | <experiment>...")
+	fmt.Fprintln(os.Stderr, "usage: benchctl [-parallel N] [-json path] [-compare old.json] [-trace dir] list | all | <experiment>...")
 }

@@ -136,3 +136,75 @@ func TestCompareExitCodes(t *testing.T) {
 		t.Fatalf("mismatch report does not name experiment %s:\n%s", first["id"], out)
 	}
 }
+
+// TestTraceFlag exercises the -trace surface: a bad directory fails
+// fast, a traced run writes all three artifacts with a schema-valid
+// Chrome trace, and untraced experiments degrade with a note.
+func TestTraceFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns full experiment runs")
+	}
+	t.Run("bad directory", func(t *testing.T) {
+		t.Parallel()
+		out, exit := run(t, "-trace", "no-such-dir", "fig2")
+		if exit != 1 {
+			t.Fatalf("exit = %d, want 1; output:\n%s", exit, out)
+		}
+		if !strings.Contains(out, "not a directory") {
+			t.Fatalf("output missing diagnostic:\n%s", out)
+		}
+	})
+	t.Run("file as directory", func(t *testing.T) {
+		t.Parallel()
+		f := filepath.Join(t.TempDir(), "plain-file")
+		if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if out, exit := run(t, "-trace", f, "fig2"); exit != 1 {
+			t.Fatalf("exit = %d, want 1; output:\n%s", exit, out)
+		}
+	})
+	t.Run("traced experiment writes artifacts", func(t *testing.T) {
+		t.Parallel()
+		dir := t.TempDir()
+		out, exit := run(t, "-trace", dir, "fig2")
+		if exit != 0 {
+			t.Fatalf("exit = %d, want 0; output:\n%s", exit, out)
+		}
+		if !strings.Contains(out, "== E2") || !strings.Contains(out, "trace artifacts:") {
+			t.Fatalf("output missing table or artifact line:\n%s", out)
+		}
+		raw, err := os.ReadFile(filepath.Join(dir, "E2.trace.json"))
+		if err != nil {
+			t.Fatalf("trace artifact missing: %v", err)
+		}
+		if !json.Valid(raw) {
+			t.Fatal("E2.trace.json is not valid JSON")
+		}
+		var doc struct {
+			TraceEvents []json.RawMessage `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(raw, &doc); err != nil || len(doc.TraceEvents) == 0 {
+			t.Fatalf("E2.trace.json has no traceEvents (err=%v)", err)
+		}
+		for _, name := range []string{"E2.hist.txt", "E2.critpath.txt"} {
+			b, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				t.Fatalf("artifact missing: %v", err)
+			}
+			if len(b) == 0 {
+				t.Fatalf("%s is empty", name)
+			}
+		}
+	})
+	t.Run("untraced experiment degrades with note", func(t *testing.T) {
+		t.Parallel()
+		out, exit := run(t, "-trace", t.TempDir(), "table1")
+		if exit != 0 {
+			t.Fatalf("exit = %d, want 0; output:\n%s", exit, out)
+		}
+		if !strings.Contains(out, "no traced form") || !strings.Contains(out, "== E1") {
+			t.Fatalf("output missing degradation note or table:\n%s", out)
+		}
+	})
+}

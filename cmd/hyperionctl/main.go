@@ -10,6 +10,7 @@
 //	hyperionctl load -slot 2 -mib 16
 //	hyperionctl load -slot 2 -mib 16 -forge   # demonstrate auth rejection
 //	hyperionctl session                        # full scripted session
+//	hyperionctl trace -probes 8 -dir out/      # traced Figure 2 probes
 package main
 
 import (
@@ -17,11 +18,13 @@ import (
 	"fmt"
 	"os"
 
+	"hyperion/internal/bench"
 	"hyperion/internal/core"
 	"hyperion/internal/fabric"
 	"hyperion/internal/netsim"
 	"hyperion/internal/rpc"
 	"hyperion/internal/sim"
+	"hyperion/internal/telemetry"
 	"hyperion/internal/transport"
 )
 
@@ -96,7 +99,7 @@ func bitstream(mib int64, tag string) *fabric.Bitstream {
 
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: hyperionctl status | load | unload | session")
+		fmt.Fprintln(os.Stderr, "usage: hyperionctl status | load | unload | session | trace")
 		os.Exit(2)
 	}
 	cmd, args := os.Args[1], os.Args[2:]
@@ -157,8 +160,71 @@ func main() {
 			os.Exit(1)
 		}
 		c.status()
+	case "trace":
+		fs := flag.NewFlagSet("trace", flag.ExitOnError)
+		probes := fs.Int("probes", 8, "number of Figure 2 probes to drive")
+		dir := fs.String("dir", "", "write trace artifacts (Perfetto JSON, histograms, critical path) to this existing directory")
+		_ = fs.Parse(args)
+		c.trace(*probes, *dir)
 	default:
 		fmt.Fprintln(os.Stderr, "unknown command", cmd)
 		os.Exit(2)
+	}
+}
+
+// trace arms the telemetry plane on the booted DPU, drives n Figure 2
+// probes through the full hardware path, and prints the per-stage
+// latency table plus the per-request critical-path summary. With dir
+// set, the Chrome trace JSON and text summaries are written there.
+func (c *ctl) trace(n int, dir string) {
+	if n <= 0 {
+		fmt.Fprintln(os.Stderr, "trace: -probes must be positive")
+		os.Exit(1)
+	}
+	if dir != "" {
+		st, err := os.Stat(dir)
+		if err != nil || !st.IsDir() {
+			fmt.Fprintf(os.Stderr, "trace: -dir %s: not a directory\n", dir)
+			os.Exit(1)
+		}
+	}
+	rec := telemetry.NewRecorder("hyperionctl.trace")
+	c.dpu.SetRecorder(rec)
+	if err := c.dpu.LoadAccelerator(0, core.ProbeBitstream(c.dpu.Cfg.AuthTag), nil); err != nil {
+		fmt.Fprintln(os.Stderr, "trace: load:", err)
+		os.Exit(1)
+	}
+	c.eng.Run()
+	var tbl sim.Table
+	tbl.Header = []string{"probe", "blocks", "arbiter", "pipeline", "storage", "egress", "total"}
+	for i := 0; i < n; i++ {
+		blocks := 1 + i%8
+		var tr core.Fig2Trace
+		err := c.dpu.Fig2Probe(0, i%4, int64(i)*7, blocks, func(got core.Fig2Trace, _ []byte, perr error) {
+			if perr != nil {
+				fmt.Fprintln(os.Stderr, "trace: probe:", perr)
+				os.Exit(1)
+			}
+			tr = got
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trace: probe:", err)
+			os.Exit(1)
+		}
+		c.eng.Run()
+		tbl.AddRow(fmt.Sprintf("%d", i), fmt.Sprintf("%d", blocks),
+			tr.Arbiter.String(), tr.Pipeline.String(), tr.Storage.String(),
+			tr.Egress.String(), tr.Total.String())
+	}
+	fmt.Print(tbl.String())
+	fmt.Println()
+	fmt.Print(rec.CriticalPath())
+	if dir != "" {
+		a, err := bench.WriteTraceArtifacts(dir, "hyperionctl", rec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace artifacts: %s %s %s\n", a.TraceJSON, a.HistTXT, a.CritTXT)
 	}
 }

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// hyperionctlBin is the binary under test, built once in TestMain — the
+// exit-code contract belongs to the executable, not the package, so
+// these tests drive it through os/exec exactly as an operator would.
+var hyperionctlBin string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "hyperionctl-test")
+	if err != nil {
+		panic(err)
+	}
+	hyperionctlBin = filepath.Join(dir, "hyperionctl")
+	out, err := exec.Command("go", "build", "-o", hyperionctlBin, ".").CombinedOutput()
+	if err != nil {
+		panic("building hyperionctl: " + err.Error() + "\n" + string(out))
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// run executes hyperionctl with args and returns combined output and
+// the exit code (0 on success, -1 if it did not exit normally).
+func run(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	out, err := exec.Command(hyperionctlBin, args...).CombinedOutput()
+	if err == nil {
+		return string(out), 0
+	}
+	var ee *exec.ExitError
+	if errors.As(err, &ee) {
+		return string(out), ee.ExitCode()
+	}
+	t.Fatalf("running hyperionctl %v: %v", args, err)
+	return "", -1
+}
+
+func TestExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns full control sessions")
+	}
+	for _, tc := range []struct {
+		name     string
+		args     []string
+		wantExit int
+		wantOut  string
+	}{
+		{"usage", nil, 2, "usage: hyperionctl"},
+		{"unknown command", []string{"frobnicate"}, 2, "unknown command"},
+		{"status", []string{"status"}, 0, "dpu0"},
+		{"load", []string{"load", "-slot", "1", "-mib", "8"}, 0, "partial reconfiguration"},
+		{"forged load rejected", []string{"load", "-slot", "1", "-forge"}, 0, "load rejected"},
+		{"session", []string{"session"}, 0, "forged bitstream is rejected"},
+		{"trace needs positive probes", []string{"trace", "-probes", "0"}, 1, "must be positive"},
+		{"trace bad dir", []string{"trace", "-dir", "no-such-dir"}, 1, "not a directory"},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			out, exit := run(t, tc.args...)
+			if exit != tc.wantExit {
+				t.Fatalf("exit = %d, want %d; output:\n%s", exit, tc.wantExit, out)
+			}
+			if !strings.Contains(out, tc.wantOut) {
+				t.Fatalf("output missing %q:\n%s", tc.wantOut, out)
+			}
+		})
+	}
+}
+
+// TestTraceCommand drives an armed trace session end to end: the
+// per-stage table and critical path print, the artifacts land in -dir,
+// and the trace JSON is parseable with a populated event stream.
+func TestTraceCommand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns full control sessions")
+	}
+	dir := t.TempDir()
+	out, exit := run(t, "trace", "-probes", "3", "-dir", dir)
+	if exit != 0 {
+		t.Fatalf("exit = %d, want 0; output:\n%s", exit, out)
+	}
+	for _, want := range []string{
+		"arbiter", "pipeline", "storage", "egress",
+		"critical path", "trace artifacts:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "hyperionctl.trace.json"))
+	if err != nil {
+		t.Fatalf("trace artifact missing: %v", err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil || len(doc.TraceEvents) == 0 {
+		t.Fatalf("trace JSON unparseable or empty (err=%v)", err)
+	}
+	for _, name := range []string{"hyperionctl.hist.txt", "hyperionctl.critpath.txt"} {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("artifact missing: %v", err)
+		}
+		if len(b) == 0 {
+			t.Fatalf("%s is empty", name)
+		}
+	}
+}
+
+// TestTraceDeterministic: two disjoint trace processes at the same
+// parameters print byte-identical output — process isolation cannot
+// hide wall-clock or map-order leaks.
+func TestTraceDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns full control sessions")
+	}
+	a, exitA := run(t, "trace", "-probes", "4")
+	b, exitB := run(t, "trace", "-probes", "4")
+	if exitA != 0 || exitB != 0 {
+		t.Fatalf("exits = %d, %d, want 0", exitA, exitB)
+	}
+	if a != b {
+		t.Fatalf("trace output diverged across processes:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+}

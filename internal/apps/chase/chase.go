@@ -17,6 +17,7 @@ import (
 	"hyperion/internal/rpc"
 	"hyperion/internal/seg"
 	"hyperion/internal/storage/bptree"
+	"hyperion/internal/telemetry"
 )
 
 // RPC method names.
@@ -188,6 +189,10 @@ type Client struct {
 	c    *rpc.Client
 	addr netsim.Addr
 
+	// Span is the trace context stamped on subsequent lookups (0 =
+	// untagged). Harnesses set it per operation when tracing is armed.
+	Span telemetry.RequestID
+
 	RTTs int64 // network round trips issued
 }
 
@@ -199,7 +204,7 @@ func NewClient(c *rpc.Client, addr netsim.Addr) *Client {
 // OffloadGet performs the one-round-trip offloaded lookup.
 func (cl *Client) OffloadGet(key uint64, cb func(GetReply, error)) {
 	cl.RTTs++
-	cl.c.Call(cl.addr, MethodGet, GetArgs{Key: key}, 64, func(val any, err error) {
+	cl.c.CallSpan(cl.addr, MethodGet, GetArgs{Key: key}, 64, cl.Span, func(val any, err error) {
 		if err != nil {
 			cb(GetReply{}, err)
 			return
@@ -212,7 +217,7 @@ func (cl *Client) OffloadGet(key uint64, cb func(GetReply, error)) {
 // per level: fetch meta (cached), then fetch and parse each node.
 func (cl *Client) ClientSideGet(key uint64, cb func(GetReply, error)) {
 	cl.RTTs++
-	cl.c.Call(cl.addr, MethodMeta, nil, 64, func(val any, err error) {
+	cl.c.CallSpan(cl.addr, MethodMeta, nil, 64, cl.Span, func(val any, err error) {
 		if err != nil {
 			cb(GetReply{}, err)
 			return
@@ -228,7 +233,7 @@ func (cl *Client) walk(cur seg.ObjectID, key uint64, hop int, cb func(GetReply, 
 		return
 	}
 	cl.RTTs++
-	cl.c.Call(cl.addr, MethodNode, NodeArgs{Hi: cur.Hi, Lo: cur.Lo}, 64, func(val any, err error) {
+	cl.c.CallSpan(cl.addr, MethodNode, NodeArgs{Hi: cur.Hi, Lo: cur.Lo}, 64, cl.Span, func(val any, err error) {
 		if err != nil {
 			cb(GetReply{}, err)
 			return

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"hyperion/internal/sim"
+	"hyperion/internal/telemetry"
 )
 
 // Result is one experiment's rendered output. SimTime and Steps
@@ -51,11 +52,17 @@ func (r Result) String() string {
 // determinism sweep (same seed → byte-identical tables, twice over).
 const DefaultSeed uint64 = 1
 
-// Experiment couples an id with its seeded runner.
+// Experiment couples an id with its seeded runner. RunTraced, where
+// present, is the same experiment with the telemetry plane armed on a
+// caller-supplied recorder: spans, histograms, and counters accumulate
+// on rec while the produced Result must stay byte-identical to
+// RunSeeded at the same seed (tracing observes the simulation, it
+// never perturbs it).
 type Experiment struct {
 	ID        string
 	Name      string
 	RunSeeded func(seed uint64) Result
+	RunTraced func(seed uint64, rec *telemetry.Recorder) Result
 }
 
 // Run executes the experiment at DefaultSeed — the golden universe.
@@ -64,23 +71,23 @@ func (e Experiment) Run() Result { return e.RunSeeded(DefaultSeed) }
 // All returns every experiment in order.
 func All() []Experiment {
 	return []Experiment{
-		{"E1", "table1", Table1},
-		{"E2", "fig2", Fig2},
-		{"E3", "energy", Energy},
-		{"E4", "reconfig", Reconfig},
-		{"E5", "jitter", Predictability},
-		{"E6", "segtable", SegmentVsPage},
-		{"E7", "chase", PointerChase},
-		{"E8", "fail2ban", Fail2ban},
-		{"E9", "lb", LoadBalancer},
-		{"E10", "ebpf", EBPFPipeline},
-		{"E11", "corfu", Corfu},
-		{"E12", "scan", ColumnarScan},
-		{"E13", "kv", KVStore},
-		{"E14", "nvmeof", NVMeoF},
+		{ID: "E1", Name: "table1", RunSeeded: Table1},
+		{ID: "E2", Name: "fig2", RunSeeded: Fig2, RunTraced: Fig2Traced},
+		{ID: "E3", Name: "energy", RunSeeded: Energy},
+		{ID: "E4", Name: "reconfig", RunSeeded: Reconfig},
+		{ID: "E5", Name: "jitter", RunSeeded: Predictability},
+		{ID: "E6", Name: "segtable", RunSeeded: SegmentVsPage},
+		{ID: "E7", Name: "chase", RunSeeded: PointerChase, RunTraced: PointerChaseTraced},
+		{ID: "E8", Name: "fail2ban", RunSeeded: Fail2ban},
+		{ID: "E9", Name: "lb", RunSeeded: LoadBalancer},
+		{ID: "E10", Name: "ebpf", RunSeeded: EBPFPipeline},
+		{ID: "E11", Name: "corfu", RunSeeded: Corfu},
+		{ID: "E12", Name: "scan", RunSeeded: ColumnarScan},
+		{ID: "E13", Name: "kv", RunSeeded: KVStore},
+		{ID: "E14", Name: "nvmeof", RunSeeded: NVMeoF},
 		// Extensions beyond the paper's own artifacts.
-		{"X1", "cluster", ClusterScaleOut},
-		{"E16", "chaos", Chaos},
+		{ID: "X1", Name: "cluster", RunSeeded: ClusterScaleOut},
+		{ID: "E16", Name: "chaos", RunSeeded: Chaos, RunTraced: ChaosTraced},
 	}
 }
 

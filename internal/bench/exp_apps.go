@@ -14,6 +14,7 @@ import (
 	"hyperion/internal/sim"
 	"hyperion/internal/storage/bptree"
 	"hyperion/internal/storage/corfu"
+	"hyperion/internal/telemetry"
 	"hyperion/internal/trace"
 	"hyperion/internal/transport"
 )
@@ -36,7 +37,18 @@ func newView(devs int, seed uint64) (*sim.Engine, *seg.SyncView) {
 
 // PointerChase reproduces §2.4's pointer-chasing figure: lookup latency
 // and round trips vs tree height, client-side vs offloaded.
-func PointerChase(seed uint64) Result {
+func PointerChase(seed uint64) Result { return pointerChase(seed, nil) }
+
+// PointerChaseTraced is PointerChase with the telemetry plane armed:
+// each tree size becomes its own Perfetto process (rec.Child) and
+// every lookup a request-scoped trace joining the app-level span to
+// the rpc/transport/netsim spans beneath it. The Result is
+// byte-identical to PointerChase at the same seed.
+func PointerChaseTraced(seed uint64, rec *telemetry.Recorder) Result {
+	return pointerChase(seed, rec)
+}
+
+func pointerChase(seed uint64, rec *telemetry.Recorder) Result {
 	r := Result{ID: "E7", Title: "§2.4 — pointer chasing: client-side RTTs vs offloaded"}
 	r.Table.Header = []string{"keys", "height", "client RTTs", "client latency", "offload RTTs", "offload latency", "speedup"}
 	for _, keys := range []int{150, 8000, 40000} {
@@ -68,22 +80,33 @@ func PointerChase(seed uint64) Result {
 			panic(err)
 		}
 		_ = svc
+		var crec *telemetry.Recorder
+		if rec != nil {
+			crec = rec.Child(fmt.Sprintf("e7.keys%d", keys))
+			d.SetRecorder(crec)
+			net.SetRecorder(crec)
+		}
 		cn, _ := net.Attach("client")
 		cli := rpc.NewClient(eng, transport.New(eng, cfg.Transport, cn))
 		cli.Timeout = sim.Duration(sim.Second)
+		cli.SetRecorder(crec)
 		cc := chase.NewClient(cli, d.ControlAddr())
 
 		const lookups = 50
 		rng := sim.NewRand(seed + 6)
-		measure := func(get func(uint64, func(chase.GetReply, error))) (sim.Duration, int64) {
+		measure := func(mode string, get func(uint64, func(chase.GetReply, error))) (sim.Duration, int64) {
 			cc.RTTs = 0
 			var total sim.Duration
 			for i := 0; i < lookups; i++ {
 				k := uint64(rng.Intn(keys) * 2)
+				cc.Span = crec.NewRequest()
 				start := eng.Now()
 				get(k, func(rep chase.GetReply, err error) {
 					if err != nil {
 						panic(err)
+					}
+					if crec != nil {
+						crec.Span("chase", mode, cc.Span, start, eng.Now())
 					}
 					total += eng.Now().Sub(start)
 				})
@@ -91,8 +114,8 @@ func PointerChase(seed uint64) Result {
 			}
 			return total / lookups, cc.RTTs / lookups
 		}
-		clsLat, clsRTT := measure(cc.ClientSideGet)
-		offLat, offRTT := measure(cc.OffloadGet)
+		clsLat, clsRTT := measure("client-side", cc.ClientSideGet)
+		offLat, offRTT := measure("offload", cc.OffloadGet)
 		r.Table.AddRow(itoa(int64(keys)), itoa(int64(tree.Height())),
 			itoa(clsRTT), clsLat.String(), itoa(offRTT), offLat.String(),
 			f2(float64(clsLat)/float64(offLat)))

@@ -10,6 +10,7 @@ import (
 	"hyperion/internal/nvmeof"
 	"hyperion/internal/rpc"
 	"hyperion/internal/sim"
+	"hyperion/internal/telemetry"
 	"hyperion/internal/transport"
 )
 
@@ -25,14 +26,24 @@ var chaosRates = []float64{0, 0.001, 0.01, 0.05}
 // windows. Retries, deadlines, and failover are armed, so the
 // interesting output is the latency tail and goodput versus fault
 // rate, not the failure count.
-func Chaos(seed uint64) Result {
+func Chaos(seed uint64) Result { return chaos(seed, nil) }
+
+// ChaosTraced is Chaos with the telemetry plane armed: each
+// (scenario, fault rate) cell becomes its own Perfetto process
+// (rec.Child) with every operation traced end to end, so the
+// critical-path summary shows where the injected faults' retries and
+// failovers spend their time. The Result is byte-identical to Chaos
+// at the same seed.
+func ChaosTraced(seed uint64, rec *telemetry.Recorder) Result { return chaos(seed, rec) }
+
+func chaos(seed uint64, rec *telemetry.Recorder) Result {
 	r := Result{ID: "E16", Title: "chaos — tail latency and goodput vs injected fault rate"}
 	r.Table.Header = []string{"scenario", "fault rate", "ops", "ok", "retries", "p50", "p99", "p99.9", "goodput MB/s"}
 	for _, rate := range chaosRates {
-		chaosNVMeoF(&r, seed, rate)
+		chaosNVMeoF(&r, seed, rate, rec)
 	}
 	for _, rate := range chaosRates {
-		chaosCluster(&r, seed, rate)
+		chaosCluster(&r, seed, rate, rec)
 	}
 	r.Notes = append(r.Notes,
 		"retry+backoff, host deadlines, and read failover hold goodput while the tail absorbs the faults; the 0% rows match the fault-free datapath exactly")
@@ -44,7 +55,7 @@ func Chaos(seed uint64) Result {
 // errors and swallowed commands. The rpc client retries timed-out
 // calls under a deadline budget; the initiator retries device-status
 // errors; the host turns swallowed commands into StatusTimeout.
-func chaosNVMeoF(r *Result, seed uint64, rate float64) {
+func chaosNVMeoF(r *Result, seed uint64, rate float64, rec *telemetry.Recorder) {
 	eng := sim.NewEngine(seed)
 	net := netsim.New(eng, netsim.DefaultConfig())
 	net.SetFaultPlan(fault.NewPlan(seed, "netsim").
@@ -71,6 +82,16 @@ func chaosNVMeoF(r *Result, seed uint64, rate float64) {
 	ini.MaxRetries = 3
 	ini.RetryBackoff = 100 * sim.Microsecond
 
+	var crec *telemetry.Recorder
+	if rec != nil {
+		crec = rec.Child(fmt.Sprintf("e16.nvmeof-%s", pct(rate)))
+		net.SetRecorder(crec)
+		dev.SetRecorder(crec)
+		host.SetRecorder(crec)
+		srv.SetRecorder(crec)
+		cli.SetRecorder(crec)
+	}
+
 	// Populate, then measure reads.
 	block := make([]byte, ncfg.BlockSize)
 	for i := range block {
@@ -92,8 +113,12 @@ func chaosNVMeoF(r *Result, seed uint64, rate float64) {
 	start := eng.Now()
 	for i := 0; i < ops; i++ {
 		lba := int64(i % warm)
+		ini.Span = crec.NewRequest()
 		t0 := eng.Now()
 		ini.Read(lba, 1, func(data []byte, err error) {
+			if crec != nil {
+				crec.Span("app", "read", ini.Span, t0, eng.Now())
+			}
 			if err == nil {
 				ok++
 				lat.Record(eng.Now().Sub(t0))
@@ -114,7 +139,7 @@ func chaosNVMeoF(r *Result, seed uint64, rate float64) {
 // 3-replica KV while seeded crash/restart windows take nodes down.
 // The router fails reads over to the next replica; puts to a down
 // replica surface as errors after the rpc timeout.
-func chaosCluster(r *Result, seed uint64, rate float64) {
+func chaosCluster(r *Result, seed uint64, rate float64, rec *telemetry.Recorder) {
 	eng := sim.NewEngine(seed)
 	net := netsim.New(eng, netsim.DefaultConfig())
 	c, err := cluster.New(eng, net, 4, 3)
@@ -124,6 +149,12 @@ func chaosCluster(r *Result, seed uint64, rate float64) {
 	rt, err := cluster.NewRouter(c, "client")
 	if err != nil {
 		panic(err)
+	}
+	if rec != nil {
+		crec := rec.Child(fmt.Sprintf("e16.cluster-%s", pct(rate)))
+		net.SetRecorder(crec)
+		c.SetRecorder(crec)
+		rt.SetRecorder(crec)
 	}
 	plan := fault.NewPlan(seed, "cluster")
 	if rate > 0 {

@@ -13,6 +13,7 @@ import (
 	"hyperion/internal/nvme"
 	"hyperion/internal/seg"
 	"hyperion/internal/sim"
+	"hyperion/internal/telemetry"
 )
 
 // bootDPU builds a standard experiment DPU.
@@ -57,10 +58,21 @@ func Table1(_ uint64) Result {
 
 // Fig2 reproduces Figure 2 by driving requests through the assembled
 // datapath and reporting per-stage latency.
-func Fig2(seed uint64) Result {
+func Fig2(seed uint64) Result { return fig2(seed, nil) }
+
+// Fig2Traced is Fig2 with the telemetry plane armed: every probe
+// becomes one request-scoped trace with per-stage spans (arbiter,
+// pipeline, storage, egress) plus the substrate-level spans beneath
+// them. The Result is byte-identical to Fig2 at the same seed.
+func Fig2Traced(seed uint64, rec *telemetry.Recorder) Result { return fig2(seed, rec) }
+
+func fig2(seed uint64, rec *telemetry.Recorder) Result {
 	r := Result{ID: "E2", Title: "Figure 2 — end-to-end datapath stage latency"}
 	r.Table.Header = []string{"blocks", "arbiter", "pipeline", "storage", "egress", "total"}
 	eng, d := bootDPU("fig2", seed)
+	if rec != nil {
+		d.SetRecorder(rec)
+	}
 	if err := d.LoadAccelerator(0, core.ProbeBitstream(d.Cfg.AuthTag), nil); err != nil {
 		panic(err)
 	}

@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"hyperion/internal/telemetry"
+)
+
+// TraceArtifacts names the files WriteTraceArtifacts produced for one
+// traced experiment run.
+type TraceArtifacts struct {
+	TraceJSON string // Chrome trace-event JSON (load in Perfetto / chrome://tracing)
+	HistTXT   string // per-layer latency histograms and counters
+	CritTXT   string // per-request critical-path summary
+}
+
+// RunTracedExperiment executes exp with the telemetry plane armed on a
+// fresh recorder named after the experiment, returning the Result and
+// the recorder holding its spans. Callers needing the disarmed golden
+// output should use exp.Run / exp.RunSeeded instead — the two produce
+// byte-identical tables at the same seed. Returns ok=false when the
+// experiment has no traced form.
+func RunTracedExperiment(exp Experiment, seed uint64) (Result, *telemetry.Recorder, bool) {
+	if exp.RunTraced == nil {
+		return Result{}, nil, false
+	}
+	rec := telemetry.NewRecorder(exp.ID + "." + exp.Name)
+	res := exp.RunTraced(seed, rec)
+	return res, rec, true
+}
+
+// WriteTraceArtifacts writes the three standard artifacts for one
+// traced run under dir: <id>.trace.json, <id>.hist.txt, and
+// <id>.critpath.txt. dir must already exist.
+func WriteTraceArtifacts(dir, id string, rec *telemetry.Recorder) (TraceArtifacts, error) {
+	a := TraceArtifacts{
+		TraceJSON: filepath.Join(dir, id+".trace.json"),
+		HistTXT:   filepath.Join(dir, id+".hist.txt"),
+		CritTXT:   filepath.Join(dir, id+".critpath.txt"),
+	}
+	if err := os.WriteFile(a.TraceJSON, rec.ChromeTrace(), 0o644); err != nil {
+		return a, fmt.Errorf("bench: writing trace: %w", err)
+	}
+	if err := os.WriteFile(a.HistTXT, []byte(rec.HistogramDump()), 0o644); err != nil {
+		return a, fmt.Errorf("bench: writing histograms: %w", err)
+	}
+	if err := os.WriteFile(a.CritTXT, []byte(rec.CriticalPath()), 0o644); err != nil {
+		return a, fmt.Errorf("bench: writing critical path: %w", err)
+	}
+	return a, nil
+}

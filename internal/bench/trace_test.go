@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hyperion/internal/telemetry"
+)
+
+// -update regenerates the golden E2 trace fixture. Run after an
+// intentional datapath-timing change:
+//
+//	go test ./internal/bench/ -run TestE2TraceMatchesGolden -update
+var update = flag.Bool("update", false, "rewrite testdata golden trace fixtures")
+
+// e2Fixture is the golden Chrome trace for E2 at the default seed. It
+// is a cross-revision artifact like goldenTableHashes: any diff means a
+// timing or span-plumbing change leaked into the traced datapath.
+const e2Fixture = "testdata/e2.trace.json"
+
+func traceE2(t *testing.T) (Result, *telemetry.Recorder) {
+	t.Helper()
+	e, ok := ByName("E2")
+	if !ok {
+		t.Fatal("experiment E2 not registered")
+	}
+	res, rec, ok := RunTracedExperiment(e, DefaultSeed)
+	if !ok {
+		t.Fatal("E2 has no traced form")
+	}
+	return res, rec
+}
+
+// TestE2TraceMatchesGolden pins the exact trace bytes E2 produces at
+// the default seed against the checked-in fixture.
+func TestE2TraceMatchesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full experiment")
+	}
+	_, rec := traceE2(t)
+	got := rec.ChromeTrace()
+	if *update {
+		if err := os.WriteFile(e2Fixture, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", e2Fixture, len(got))
+		return
+	}
+	want, err := os.ReadFile(e2Fixture)
+	if err != nil {
+		t.Fatalf("reading golden fixture (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("E2 trace drifted from golden fixture %s: got %d bytes, want %d; rerun with -update if the timing change is intentional",
+			e2Fixture, len(got), len(want))
+	}
+}
+
+// TestE2TraceSchemaAndTableNeutrality checks (a) the exported JSON is a
+// valid Chrome trace-event document and (b) arming the telemetry plane
+// does not perturb the experiment's table — the disarmed-is-armed
+// equivalence the golden hashes depend on.
+func TestE2TraceSchemaAndTableNeutrality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full experiment")
+	}
+	e, _ := ByName("E2")
+	res, rec := traceE2(t)
+	if err := telemetry.ValidateChromeTrace(rec.ChromeTrace()); err != nil {
+		t.Fatalf("E2 trace fails schema validation: %v", err)
+	}
+	if rec.Events() == 0 {
+		t.Fatal("armed E2 run recorded no spans")
+	}
+	if rec.HistogramDump() == "" || rec.CriticalPath() == "" {
+		t.Fatal("armed E2 run produced empty summaries")
+	}
+	disarmed := e.RunSeeded(DefaultSeed)
+	if got, want := res.Table.String(), disarmed.Table.String(); got != want {
+		t.Fatalf("arming telemetry changed the E2 table:\n--- armed ---\n%s\n--- disarmed ---\n%s", got, want)
+	}
+}
+
+// TestWriteTraceArtifacts covers the artifact writer: three files with
+// the exported contents, plus the error path on a bad directory.
+func TestWriteTraceArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full experiment")
+	}
+	_, rec := traceE2(t)
+	dir := t.TempDir()
+	a, err := WriteTraceArtifacts(dir, "E2", rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFiles := map[string][]byte{
+		a.TraceJSON: rec.ChromeTrace(),
+		a.HistTXT:   []byte(rec.HistogramDump()),
+		a.CritTXT:   []byte(rec.CriticalPath()),
+	}
+	for path, want := range wantFiles {
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("artifact missing: %v", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s does not match exported contents", filepath.Base(path))
+		}
+	}
+	if _, err := WriteTraceArtifacts(filepath.Join(dir, "missing"), "E2", rec); err == nil {
+		t.Error("writing into a missing directory succeeded, want error")
+	}
+}
+
+// TestRunTracedExperimentUntracedForm: experiments without a traced
+// form report ok=false instead of panicking.
+func TestRunTracedExperimentUntracedForm(t *testing.T) {
+	e, ok := ByName("E1")
+	if !ok {
+		t.Fatal("experiment E1 not registered")
+	}
+	if e.RunTraced != nil {
+		t.Skip("E1 gained a traced form; pick another untraced experiment")
+	}
+	if _, rec, ok := RunTracedExperiment(e, DefaultSeed); ok || rec != nil {
+		t.Fatal("untraced experiment reported a traced run")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"hyperion/internal/seg"
 	"hyperion/internal/sim"
 	"hyperion/internal/storage/kvssd"
+	"hyperion/internal/telemetry"
 	"hyperion/internal/transport"
 )
 
@@ -122,6 +123,15 @@ func (c *Cluster) serve(n *Node) {
 	})
 }
 
+// SetRecorder arms the telemetry plane on every node's DPU (network,
+// NVMe, PCIe, store, RPC server). Disarmed (nil) the datapath is
+// bit-identical to the unhooked cluster.
+func (c *Cluster) SetRecorder(rec *telemetry.Recorder) {
+	for _, n := range c.Nodes {
+		n.DPU.SetRecorder(rec)
+	}
+}
+
 // MarkDown simulates a node failure (it stops answering).
 func (c *Cluster) MarkDown(i int) { c.Nodes[i].down = true }
 
@@ -179,7 +189,19 @@ type Router struct {
 	// replica on reads.
 	FailoverTimeout sim.Duration
 
+	rec *telemetry.Recorder
+
 	Routed, Failovers int64
+}
+
+// SetRecorder arms the telemetry plane on the router and its RPC
+// client: each Put/Get becomes one request-scoped trace (a fresh
+// RequestID propagated through rpc → transport → netsim) with an
+// end-to-end span under layer "cluster". Disarmed (nil) the routing
+// path is bit-identical to the unhooked router.
+func (r *Router) SetRecorder(rec *telemetry.Recorder) {
+	r.rec = rec
+	r.cli.SetRecorder(rec)
 }
 
 // NewRouter attaches a client host to the fabric.
@@ -198,11 +220,20 @@ func NewRouter(c *Cluster, name netsim.Addr) (*Router, error) {
 func (r *Router) Put(key, value []byte, cb func(error)) {
 	set := r.c.ReplicaSet(key)
 	r.Routed++
+	span := r.rec.NewRequest()
+	if r.rec != nil {
+		start := r.c.Eng.Now()
+		inner := cb
+		cb = func(err error) {
+			r.rec.Span("cluster", "put", span, start, r.c.Eng.Now())
+			inner(err)
+		}
+	}
 	pending := len(set)
 	var firstErr error
 	for _, idx := range set {
 		addr := r.c.Nodes[idx].DPU.ControlAddr()
-		r.cli.Call(addr, MethodPut, PutArgs{Key: key, Value: value}, len(key)+len(value)+64, func(_ any, err error) {
+		r.cli.CallSpan(addr, MethodPut, PutArgs{Key: key, Value: value}, len(key)+len(value)+64, span, func(_ any, err error) {
 			if err != nil && firstErr == nil {
 				firstErr = err
 			}
@@ -219,19 +250,28 @@ func (r *Router) Put(key, value []byte, cb func(error)) {
 func (r *Router) Get(key []byte, cb func(val []byte, err error)) {
 	set := r.c.ReplicaSet(key)
 	r.Routed++
-	r.tryGet(key, set, 0, cb)
+	span := r.rec.NewRequest()
+	if r.rec != nil {
+		start := r.c.Eng.Now()
+		inner := cb
+		cb = func(val []byte, err error) {
+			r.rec.Span("cluster", "get", span, start, r.c.Eng.Now())
+			inner(val, err)
+		}
+	}
+	r.tryGet(key, set, 0, span, cb)
 }
 
-func (r *Router) tryGet(key []byte, set []int, attempt int, cb func([]byte, error)) {
+func (r *Router) tryGet(key []byte, set []int, attempt int, span telemetry.RequestID, cb func([]byte, error)) {
 	if attempt >= len(set) {
 		cb(nil, ErrNoReplicas)
 		return
 	}
 	addr := r.c.Nodes[set[attempt]].DPU.ControlAddr()
-	r.cli.Call(addr, MethodGet, key, len(key)+64, func(val any, err error) {
+	r.cli.CallSpan(addr, MethodGet, key, len(key)+64, span, func(val any, err error) {
 		if errors.Is(err, rpc.ErrTimeout) {
 			r.Failovers++
-			r.tryGet(key, set, attempt+1, cb)
+			r.tryGet(key, set, attempt+1, span, cb)
 			return
 		}
 		if err != nil {

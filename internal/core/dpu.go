@@ -18,6 +18,7 @@ import (
 	"hyperion/internal/rpc"
 	"hyperion/internal/seg"
 	"hyperion/internal/sim"
+	"hyperion/internal/telemetry"
 	"hyperion/internal/transport"
 )
 
@@ -81,8 +82,31 @@ type DPU struct {
 	demux    *fabric.Demux
 	arbiter  *fabric.Arbiter
 	handlers map[uint16]func(netsim.Frame)
+	rec      *telemetry.Recorder
 
 	Counters sim.CounterSet
+}
+
+// SetRecorder arms the telemetry plane on every substrate of this DPU:
+// the fabric slots, the AXIS ingress arbiter, the PCIe root complex,
+// each SSD and its NVMe host driver, the segment store, and the
+// control-plane RPC server. Disarmed (nil) every hook is a pure nil
+// check — the datapath is bit-identical to the unhooked DPU.
+func (d *DPU) SetRecorder(rec *telemetry.Recorder) {
+	d.rec = rec
+	d.Fabric.SetRecorder(rec)
+	d.Root.SetRecorder(rec)
+	for _, dev := range d.SSDs {
+		dev.SetRecorder(rec)
+	}
+	for _, h := range d.Hosts {
+		h.SetRecorder(rec)
+	}
+	d.Store.SetRecorder(rec)
+	d.arbiter.SetRecorder(rec)
+	if d.CtrlSrv != nil {
+		d.CtrlSrv.SetRecorder(rec)
+	}
 }
 
 // Boot powers the DPU: fabric self-test, PCIe enumeration by the

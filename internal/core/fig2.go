@@ -48,21 +48,34 @@ func (d *DPU) Fig2Probe(slot int, ssd int, lba int64, blocks int, reply func(tr 
 	var tr Fig2Trace
 	fail := func(err error) { reply(tr, nil, err) }
 
+	// One trace context joins every stage of this probe (0 disarmed).
+	span := d.rec.NewRequest()
+
 	// Stage 1: DEMUX + AXIS arbiter, modeled by an AXIS stream with the
 	// fabric's clock and bus width carrying the frame into the slot.
 	const frameBytes = 256
 	probe := fabric.NewStream(d.Eng, "fig2.probe", d.Cfg.Fabric.ClockHz, 64, 8)
+	probe.SetRecorder(d.rec)
 	probe.Connect(func(it fabric.Item) {
 		t1 := d.Eng.Now()
 		tr.Arbiter = t1.Sub(t0)
+		if d.rec != nil {
+			d.rec.Span("fig2", "arbiter", span, t0, t1)
+		}
 		// Stage 2: accelerator pipeline.
-		serr := d.Fabric.Submit(slot, it.Payload, func(out any) {
+		serr := d.Fabric.SubmitSpan(slot, it.Payload, span, func(out any) {
 			t2 := d.Eng.Now()
 			tr.Pipeline = t2.Sub(t1)
+			if d.rec != nil {
+				d.rec.Span("fig2", "pipeline", span, t1, t2)
+			}
 			// Stage 3: NVMe host IP core → PCIe bridge → flash.
-			rerr := d.Hosts[ssd].Read(0, lba, blocks, func(data []byte, st uint16) {
+			rerr := d.Hosts[ssd].ReadSpan(0, lba, blocks, span, func(data []byte, st uint16) {
 				t3 := d.Eng.Now()
 				tr.Storage = t3.Sub(t2)
+				if d.rec != nil {
+					d.rec.Span("fig2", "storage", span, t2, t3)
+				}
 				// Stage 4: response egress serialization on QSFP.
 				respBytes := len(data) + 64
 				egress := sim.Duration(float64(respBytes) / 12.5e9 * float64(sim.Second))
@@ -70,6 +83,12 @@ func (d *DPU) Fig2Probe(slot int, ssd int, lba int64, blocks int, reply func(tr 
 					t4 := d.Eng.Now()
 					tr.Egress = t4.Sub(t3)
 					tr.Total = t4.Sub(t0)
+					if d.rec != nil {
+						// No "total" span: the per-request critical path
+						// derives end-to-end time from the stage spans, and
+						// a covering span would trivially dominate it.
+						d.rec.Span("fig2", "egress", span, t3, t4)
+					}
 					reply(tr, data, nil)
 				})
 			})
@@ -81,5 +100,5 @@ func (d *DPU) Fig2Probe(slot int, ssd int, lba int64, blocks int, reply func(tr 
 			fail(serr)
 		}
 	})
-	return probe.Push(fabric.Item{Bytes: frameBytes, Payload: []byte("probe")})
+	return probe.Push(fabric.Item{Bytes: frameBytes, Payload: []byte("probe"), Span: span})
 }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"hyperion/internal/sim"
+	"hyperion/internal/telemetry"
 )
 
 // Resource kinds on the fabric, with U280-like totals.
@@ -162,6 +163,9 @@ type Fabric struct {
 	free    Resources
 	authTag string
 
+	rec       *telemetry.Recorder
+	slotNames []string // armed only: precomputed per-slot span names
+
 	Counters sim.CounterSet
 }
 
@@ -180,6 +184,19 @@ func New(eng *sim.Engine, cfg Config, authTag string) *Fabric {
 
 // Config returns the fabric configuration.
 func (f *Fabric) Config() Config { return f.cfg }
+
+// SetRecorder arms the telemetry plane: one span per submitted item
+// covering pipeline issue to completion, on a thread per slot. Span
+// names are precomputed here so the armed hot path never concatenates
+// strings; disarmed the hooks are pure nil checks.
+func (f *Fabric) SetRecorder(rec *telemetry.Recorder) {
+	f.rec = rec
+	if rec != nil && f.slotNames == nil {
+		for i := range f.slots {
+			f.slotNames = append(f.slotNames, fmt.Sprintf("slot%d", i))
+		}
+	}
+}
 
 // CyclePeriod returns the duration of one fabric clock cycle.
 func (f *Fabric) CyclePeriod() sim.Duration {
@@ -288,6 +305,13 @@ func (f *Fabric) FindFreeSlot() (int, error) {
 // input (modeled by pushing busyUntil forward), exactly like a stalled
 // AXIS upstream.
 func (f *Fabric) Submit(i int, item any, result func(out any)) error {
+	return f.SubmitSpan(i, item, 0, result)
+}
+
+// SubmitSpan is Submit with a request-scoped trace context: the span
+// recorded for this item (when armed) is tagged with req so it joins
+// the request's critical path.
+func (f *Fabric) SubmitSpan(i int, item any, req telemetry.RequestID, result func(out any)) error {
 	slot, err := f.Slot(i)
 	if err != nil {
 		return err
@@ -308,6 +332,9 @@ func (f *Fabric) Submit(i int, item any, result func(out any)) error {
 	img := slot.Image
 	f.eng.At(complete, "fabric.complete:"+img.Name, func() {
 		out := img.Process(item)
+		if f.rec != nil {
+			f.rec.Span("fabric", f.slotNames[i], req, issue, f.eng.Now())
+		}
 		if result != nil {
 			result(out)
 		}

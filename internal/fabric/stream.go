@@ -6,6 +6,7 @@ import (
 
 	"hyperion/internal/fault"
 	"hyperion/internal/sim"
+	"hyperion/internal/telemetry"
 )
 
 // ErrStreamFull is returned by Stream.Push when the FIFO is at capacity
@@ -13,10 +14,12 @@ import (
 var ErrStreamFull = errors.New("fabric: stream FIFO full")
 
 // Item is one unit travelling on an AXI-Stream: an opaque payload plus
-// its wire size, which determines how many bus beats it occupies.
+// its wire size, which determines how many bus beats it occupies. Span
+// carries the request-scoped trace context alongside the payload.
 type Item struct {
 	Payload any
 	Bytes   int
+	Span    telemetry.RequestID
 }
 
 // Stream models an AXI-Stream channel: a fixed-width bus clocked at the
@@ -34,6 +37,9 @@ type Stream struct {
 	queue      []Item
 	busy       bool
 	plan       *fault.Plan
+	rec        *telemetry.Recorder
+	dropName   string     // armed only: precomputed drop-counter name
+	pushAt     []sim.Time // armed only: enqueue time per queued item
 	Pushed     int64
 	Dropped    int64 // backpressure drops (FIFO full)
 	FaultDrops int64 // injected drops (item consumed bus beats, then discarded)
@@ -63,6 +69,17 @@ func (s *Stream) Connect(sink func(Item)) { s.sink = sink }
 // zero-rate plan leaves delivery bit-identical to an unhooked stream.
 func (s *Stream) SetFaultPlan(p *fault.Plan) { s.plan = p }
 
+// SetRecorder arms the telemetry plane: one span per delivered item
+// covering enqueue to sink handoff (FIFO wait + bus beats), named
+// after the stream. Disarmed (nil, the default) the hooks are pure
+// nil checks and delivery stays bit-identical.
+func (s *Stream) SetRecorder(rec *telemetry.Recorder) {
+	s.rec = rec
+	if rec != nil {
+		s.dropName = "drop:" + s.Name
+	}
+}
+
 // Len returns the current FIFO occupancy.
 func (s *Stream) Len() int { return len(s.queue) }
 
@@ -79,6 +96,9 @@ func (s *Stream) Push(it Item) error {
 		return ErrStreamFull
 	}
 	s.queue = append(s.queue, it)
+	if s.rec != nil {
+		s.pushAt = append(s.pushAt, s.eng.Now())
+	}
 	s.Pushed++
 	s.Bytes += int64(it.Bytes)
 	if !s.busy {
@@ -100,9 +120,22 @@ func (s *Stream) deliverNext() {
 	}
 	s.eng.After(sim.Duration(beats)*s.period, "stream:"+s.Name, func() {
 		s.queue = s.queue[1:]
+		// The enqueue-time shadow queue exists only while armed; if the
+		// recorder was installed mid-flight it may briefly run short.
+		t0 := s.eng.Now()
+		if s.rec != nil && len(s.pushAt) > 0 {
+			t0 = s.pushAt[0]
+			s.pushAt = s.pushAt[1:]
+		}
 		if s.plan.Roll(fault.Drop) {
 			s.FaultDrops++
+			if s.rec != nil {
+				s.rec.Count("stream", s.dropName, 1)
+			}
 		} else {
+			if s.rec != nil {
+				s.rec.Span("stream", s.Name, it.Span, t0, s.eng.Now())
+			}
 			s.sink(it)
 		}
 		s.deliverNext()
@@ -132,6 +165,13 @@ func NewArbiter(eng *sim.Engine, name string, clockHz int64, widthBytes, depthIt
 
 // In returns input port i.
 func (a *Arbiter) In(i int) *Stream { return a.ins[i] }
+
+// SetRecorder arms telemetry on every input stream of the arbiter.
+func (a *Arbiter) SetRecorder(rec *telemetry.Recorder) {
+	for _, st := range a.ins {
+		st.SetRecorder(rec)
+	}
+}
 
 // Inputs returns the number of input ports.
 func (a *Arbiter) Inputs() int { return len(a.ins) }

@@ -10,16 +10,20 @@ import (
 
 	"hyperion/internal/fault"
 	"hyperion/internal/sim"
+	"hyperion/internal/telemetry"
 )
 
 // Addr identifies a NIC on the network.
 type Addr string
 
-// Frame is one Ethernet-level unit.
+// Frame is one Ethernet-level unit. Span carries the request-scoped
+// trace context across the wire (0 = untagged); it rides beside the
+// payload exactly like a tag in a real frame's metadata.
 type Frame struct {
 	Src, Dst Addr
 	Payload  any
 	Bytes    int
+	Span     telemetry.RequestID
 }
 
 // MTU-ish bounds; jumbo frames are the datacenter norm.
@@ -113,6 +117,7 @@ type Network struct {
 	outQueue map[Addr]int
 
 	plan *fault.Plan
+	rec  *telemetry.Recorder
 
 	Drops         int64 // congestion drops (output queue full)
 	Forwards      int64
@@ -143,6 +148,12 @@ func (n *Network) Config() Config { return n.cfg }
 // with all rates at zero leaves the forwarding path bit-identical to an
 // uninstrumented network.
 func (n *Network) SetFaultPlan(p *fault.Plan) { n.plan = p }
+
+// SetRecorder arms (or with nil, disarms) the telemetry plane: one
+// span per delivered frame (switch arrival to NIC delivery) plus drop
+// counters. Disarmed, the hooks are pure nil checks — no allocation,
+// no time or rng consumption — so forwarding stays bit-identical.
+func (n *Network) SetRecorder(rec *telemetry.Recorder) { n.rec = rec }
 
 // Reorder slip bounds: an injected reorder delays one frame by a
 // uniform extra latency in this window, enough to slip behind several
@@ -182,12 +193,19 @@ func (n *Network) serTime(b int) sim.Duration {
 func (n *Network) switchForward(f Frame, dst *NIC) {
 	if n.plan.Roll(fault.Drop) {
 		n.FaultDrops++
+		if n.rec != nil {
+			n.rec.Count("net", "fault_drops", 1)
+		}
 		return
 	}
 	if n.outQueue[f.Dst] >= n.cfg.QueueFrames {
 		n.Drops++
+		if n.rec != nil {
+			n.rec.Count("net", "queue_drops", 1)
+		}
 		return
 	}
+	arrive := n.eng.Now()
 	n.outQueue[f.Dst]++
 	// Forwarding latency is pipelined: it delays when a frame may start
 	// on the output port but does not consume port bandwidth.
@@ -216,10 +234,16 @@ func (n *Network) switchForward(f Frame, dst *NIC) {
 			// The frame arrived but failed the NIC's FCS check: count
 			// and discard without surfacing it to the stack.
 			dst.RxCorrupt++
+			if n.rec != nil {
+				n.rec.Count("net", "rx_corrupt", 1)
+			}
 			return
 		}
 		dst.RxFrames++
 		dst.RxBytes += int64(f.Bytes)
+		if n.rec != nil {
+			n.rec.Span("net", "frame", f.Span, arrive, n.eng.Now())
+		}
 		if dst.recv != nil {
 			dst.recv(f)
 		}

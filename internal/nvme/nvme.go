@@ -11,6 +11,7 @@ import (
 
 	"hyperion/internal/fault"
 	"hyperion/internal/sim"
+	"hyperion/internal/telemetry"
 )
 
 // Opcodes (a small, structurally faithful subset of NVMe I/O commands).
@@ -75,7 +76,9 @@ func DefaultConfig(name string) Config {
 	}
 }
 
-// Command is a submission-queue entry.
+// Command is a submission-queue entry. Span carries the
+// request-scoped trace context alongside the command, like a vendor
+// tag in the reserved SQE dwords.
 type Command struct {
 	Opcode uint8
 	CID    uint16
@@ -83,6 +86,21 @@ type Command struct {
 	LBA    int64
 	Blocks int
 	Data   []byte // write payload; nil for reads
+	Span   telemetry.RequestID
+}
+
+// opName labels a command's opcode for telemetry with a static
+// string, so armed span recording never allocates.
+func opName(op uint8) string {
+	switch op {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpFlush:
+		return "flush"
+	}
+	return "op"
 }
 
 // Completion is a completion-queue entry delivered to the host.
@@ -118,9 +136,15 @@ type Device struct {
 	// plan is the richer fault plane (media errors, swallowed commands,
 	// transient read corruption); see SetFaultPlan.
 	plan *fault.Plan
+	rec  *telemetry.Recorder
 
 	Counters sim.CounterSet
 }
+
+// SetRecorder arms the telemetry plane: one span per completed
+// command, from execute start to completion post, named by opcode.
+// Disarmed (nil) the hooks are pure nil checks.
+func (d *Device) SetRecorder(rec *telemetry.Recorder) { d.rec = rec }
 
 // InjectFaults makes a fraction of subsequent I/O commands fail with
 // StatusInternal, deterministically per seed. prob 0 disables.
@@ -230,10 +254,14 @@ func (d *Device) pump(qp *queuePair) {
 // execute models one command: SQE fetch DMA, flash access on the LBA's
 // channel, data DMA, CQE post, interrupt.
 func (d *Device) execute(qp *queuePair, cmd Command) {
+	start := d.eng.Now()
 	complete := func(status uint16, data []byte) {
 		qp.inFlight--
 		c := Completion{CID: cmd.CID, Status: status, Data: data}
 		d.Counters.Get("completions").Add(1)
+		if d.rec != nil {
+			d.rec.Span("nvme.dev", opName(cmd.Opcode), cmd.Span, start, d.eng.Now())
+		}
 		if d.interrupt != nil {
 			d.interrupt(qp.id, c)
 		}
@@ -435,9 +463,16 @@ type Host struct {
 	pending  map[uint16]func(Completion)
 	deadline sim.Duration // 0 = no deadline (the default)
 	timers   map[uint16]sim.EventRef
+	rec      *telemetry.Recorder
 	QueueErr int64
 	Timeouts int64 // deadline-synthesized StatusTimeout completions
 }
+
+// SetRecorder arms the telemetry plane: one span per submitted
+// command covering submission to completion callback (queueing + the
+// whole device round trip), named by opcode. Disarmed (nil) the
+// Submit path is bit-identical to the unhooked driver.
+func (h *Host) SetRecorder(rec *telemetry.Recorder) { h.rec = rec }
 
 // NewHost builds a driver for dev. ring performs the doorbell write for
 // queue q; pass nil to ring the device directly (unit tests).
@@ -478,6 +513,14 @@ func (h *Host) Submit(q int, cmd Command, cb func(Completion)) error {
 		h.QueueErr++
 		return err
 	}
+	if cb != nil && h.rec != nil {
+		submitted := h.dev.eng.Now()
+		op, span, inner := opName(cmd.Opcode), cmd.Span, cb
+		cb = func(c Completion) {
+			h.rec.Span("nvme.host", op, span, submitted, h.dev.eng.Now())
+			inner(c)
+		}
+	}
 	if cb != nil {
 		h.pending[cmd.CID] = cb
 		if h.deadline > 0 {
@@ -502,18 +545,29 @@ func (h *Host) Submit(q int, cmd Command, cb func(Completion)) error {
 
 // Read reads blocks starting at lba on queue q.
 func (h *Host) Read(q int, lba int64, blocks int, cb func(data []byte, status uint16)) error {
-	return h.Submit(q, Command{Opcode: OpRead, NSID: 1, LBA: lba, Blocks: blocks}, func(c Completion) {
+	return h.ReadSpan(q, lba, blocks, 0, cb)
+}
+
+// ReadSpan is Read carrying a request-scoped trace context down the
+// command path.
+func (h *Host) ReadSpan(q int, lba int64, blocks int, span telemetry.RequestID, cb func(data []byte, status uint16)) error {
+	return h.Submit(q, Command{Opcode: OpRead, NSID: 1, LBA: lba, Blocks: blocks, Span: span}, func(c Completion) {
 		cb(c.Data, c.Status)
 	})
 }
 
 // Write writes data (len = blocks × BlockSize) at lba on queue q.
 func (h *Host) Write(q int, lba int64, data []byte, cb func(status uint16)) error {
+	return h.WriteSpan(q, lba, data, 0, cb)
+}
+
+// WriteSpan is Write carrying a request-scoped trace context.
+func (h *Host) WriteSpan(q int, lba int64, data []byte, span telemetry.RequestID, cb func(status uint16)) error {
 	bs := h.dev.cfg.BlockSize
 	if len(data)%bs != 0 {
 		return fmt.Errorf("%w: %d bytes", ErrShortWrite, len(data))
 	}
-	cmd := Command{Opcode: OpWrite, NSID: 1, LBA: lba, Blocks: len(data) / bs, Data: data}
+	cmd := Command{Opcode: OpWrite, NSID: 1, LBA: lba, Blocks: len(data) / bs, Data: data, Span: span}
 	return h.Submit(q, cmd, func(c Completion) {
 		if cb != nil {
 			cb(c.Status)
@@ -529,7 +583,12 @@ func (h *Host) BlockSize() int { return h.dev.cfg.BlockSize }
 
 // Flush waits for all programmed data to be durable.
 func (h *Host) Flush(q int, cb func(status uint16)) error {
-	return h.Submit(q, Command{Opcode: OpFlush, NSID: 1}, func(c Completion) {
+	return h.FlushSpan(q, 0, cb)
+}
+
+// FlushSpan is Flush carrying a request-scoped trace context.
+func (h *Host) FlushSpan(q int, span telemetry.RequestID, cb func(status uint16)) error {
+	return h.Submit(q, Command{Opcode: OpFlush, NSID: 1, Span: span}, func(c Completion) {
 		if cb != nil {
 			cb(c.Status)
 		}

@@ -14,6 +14,7 @@ import (
 	"hyperion/internal/nvme"
 	"hyperion/internal/rpc"
 	"hyperion/internal/sim"
+	"hyperion/internal/telemetry"
 )
 
 // Method names on the wire.
@@ -57,7 +58,9 @@ func NewTarget(srv *rpc.Server, host *nvme.Host, qid int) *Target {
 			return
 		}
 		t.Reads++
-		err := host.Read(qid, a.LBA, a.Blocks, func(data []byte, st uint16) {
+		// The server's active span joins the RPC leg to the NVMe leg of
+		// the same request (0 when the caller did not tag one).
+		err := host.ReadSpan(qid, a.LBA, a.Blocks, srv.ActiveSpan(), func(data []byte, st uint16) {
 			if st != nvme.StatusOK {
 				respond(nil, 0, fmt.Errorf("%w %#x", ErrStatus, st))
 				return
@@ -75,7 +78,7 @@ func NewTarget(srv *rpc.Server, host *nvme.Host, qid int) *Target {
 			return
 		}
 		t.Writes++
-		err := host.Write(qid, a.LBA, a.Data, func(st uint16) {
+		err := host.WriteSpan(qid, a.LBA, a.Data, srv.ActiveSpan(), func(st uint16) {
 			if st != nvme.StatusOK {
 				respond(nil, 0, fmt.Errorf("%w %#x", ErrStatus, st))
 				return
@@ -88,7 +91,7 @@ func NewTarget(srv *rpc.Server, host *nvme.Host, qid int) *Target {
 	})
 	srv.Handle(MethodFlush, func(arg any, respond func(any, int, error)) {
 		t.Flushes++
-		err := host.Flush(qid, func(st uint16) {
+		err := host.FlushSpan(qid, srv.ActiveSpan(), func(st uint16) {
 			if st != nvme.StatusOK {
 				respond(nil, 0, fmt.Errorf("%w %#x", ErrStatus, st))
 				return
@@ -116,6 +119,10 @@ type Initiator struct {
 	// between attempts.
 	MaxRetries   int
 	RetryBackoff sim.Duration
+
+	// Span is the trace context stamped on subsequent verbs (0 =
+	// untagged). Harnesses set it per operation when tracing is armed.
+	Span telemetry.RequestID
 
 	Retries int64 // retry attempts actually issued
 }
@@ -164,8 +171,9 @@ func (i *Initiator) withRetry(op func(cb func(err error)), cb func(err error)) {
 // Read fetches blocks; cb receives the data.
 func (i *Initiator) Read(lba int64, blocks int, cb func(data []byte, err error)) {
 	var data []byte
+	span := i.Span
 	i.withRetry(func(done func(error)) {
-		i.c.Call(i.target, MethodRead, ReadArgs{LBA: lba, Blocks: blocks}, 64, func(val any, err error) {
+		i.c.CallSpan(i.target, MethodRead, ReadArgs{LBA: lba, Blocks: blocks}, 64, span, func(val any, err error) {
 			if err != nil {
 				done(err)
 				return
@@ -193,8 +201,9 @@ func (i *Initiator) Write(lba int64, data []byte, cb func(err error)) {
 		cb(fmt.Errorf("nvmeof: unaligned write of %d bytes", len(data)))
 		return
 	}
+	span := i.Span
 	i.withRetry(func(done func(error)) {
-		i.c.Call(i.target, MethodWrite, WriteArgs{LBA: lba, Data: data}, len(data)+64, func(val any, err error) {
+		i.c.CallSpan(i.target, MethodWrite, WriteArgs{LBA: lba, Data: data}, len(data)+64, span, func(val any, err error) {
 			done(err)
 		})
 	}, cb)
@@ -202,7 +211,8 @@ func (i *Initiator) Write(lba int64, data []byte, cb func(err error)) {
 
 // Flush hardens all writes.
 func (i *Initiator) Flush(cb func(err error)) {
+	span := i.Span
 	i.withRetry(func(done func(error)) {
-		i.c.Call(i.target, MethodFlush, nil, 64, func(val any, err error) { done(err) })
+		i.c.CallSpan(i.target, MethodFlush, nil, 64, span, func(val any, err error) { done(err) })
 	}, cb)
 }

@@ -14,6 +14,7 @@ import (
 
 	"hyperion/internal/fault"
 	"hyperion/internal/sim"
+	"hyperion/internal/telemetry"
 )
 
 // Per-lane effective bandwidth (PCIe Gen3, 8 GT/s with 128b/130b
@@ -75,9 +76,15 @@ type RootComplex struct {
 	ports      []*Port
 	enumerated bool
 	nextBase   int64
+	rec        *telemetry.Recorder
 
 	Counters sim.CounterSet
 }
+
+// SetRecorder arms the telemetry plane: a latency histogram sample
+// per DMA (queueing + transfer + hop) and MMIO counters. Disarmed
+// (nil) the hooks are pure nil checks.
+func (rc *RootComplex) SetRecorder(rec *telemetry.Recorder) { rc.rec = rec }
 
 // NewRootComplex creates a root with the given bifurcation, e.g.
 // lanes = [4,4,4,4] for the Hyperion crossover board splitting x16.
@@ -162,6 +169,9 @@ func (rc *RootComplex) MMIORead(addr int64) (uint64, sim.Duration, error) {
 		return 0, 0, err
 	}
 	rc.Counters.Get("mmio_reads").Add(1)
+	if rc.rec != nil {
+		rc.rec.Count("pcie", "mmio_reads", 1)
+	}
 	p.TLPs++
 	return p.dev.MMIORead(off), 2 * hopLatency, nil
 }
@@ -173,6 +183,9 @@ func (rc *RootComplex) MMIOWrite(addr int64, val uint64) (sim.Duration, error) {
 		return 0, err
 	}
 	rc.Counters.Get("mmio_writes").Add(1)
+	if rc.rec != nil {
+		rc.rec.Count("pcie", "mmio_writes", 1)
+	}
 	p.TLPs++
 	p.dev.MMIOWrite(off, val)
 	return hopLatency, nil
@@ -201,6 +214,9 @@ func (rc *RootComplex) DMA(addr int64, size int64, done func()) error {
 	p.Bytes += size
 	p.TLPs += (size + 4095) / 4096
 	rc.Counters.Get("dma_bytes").Add(size)
+	if rc.rec != nil {
+		rc.rec.Observe("pcie", "dma", finish.Sub(now))
+	}
 	rc.eng.At(finish, "pcie.dma:"+p.dev.PCIeName(), func() {
 		if done != nil {
 			done()

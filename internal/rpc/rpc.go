@@ -11,6 +11,7 @@ import (
 
 	"hyperion/internal/netsim"
 	"hyperion/internal/sim"
+	"hyperion/internal/telemetry"
 	"hyperion/internal/transport"
 )
 
@@ -36,6 +37,7 @@ type request struct {
 	ID     uint64
 	Method string
 	Arg    any
+	Span   telemetry.RequestID
 }
 
 type response struct {
@@ -62,8 +64,23 @@ type Server struct {
 	draining         bool
 	DispatchOverhead sim.Duration
 
+	rec    *telemetry.Recorder
+	active telemetry.RequestID // span of the request being served
+
 	Requests, Errors int64
 }
+
+// SetRecorder arms the telemetry plane: one span per served request,
+// from handler entry to response send, named after the method.
+// Disarmed (nil) the serve path is bit-identical to the unhooked
+// server.
+func (s *Server) SetRecorder(rec *telemetry.Recorder) { s.rec = rec }
+
+// ActiveSpan returns the trace context of the request currently being
+// served (0 outside a handler's synchronous extent). Handlers that
+// fan out to storage or other services read it here to keep the
+// request's spans joined across layers.
+func (s *Server) ActiveSpan() telemetry.RequestID { return s.active }
 
 // NewServer wraps a transport endpoint.
 func NewServer(eng *sim.Engine, ep transport.Endpoint, mode Mode) *Server {
@@ -116,9 +133,12 @@ func (s *Server) serve(src netsim.Addr, req request) {
 	h, ok := s.handlers[req.Method]
 	if !ok {
 		s.Errors++
-		s.reply(src, response{ID: req.ID, Err: ErrNoMethod.Error() + ": " + req.Method}, 64)
+		s.reply(src, response{ID: req.ID, Err: ErrNoMethod.Error() + ": " + req.Method}, 64, req.Span)
 		return
 	}
+	start := s.eng.Now()
+	prev := s.active
+	s.active = req.Span
 	done := false
 	h(req.Arg, func(val any, respBytes int, err error) {
 		if done {
@@ -134,12 +154,16 @@ func (s *Server) serve(src netsim.Addr, req request) {
 		if respBytes < 64 {
 			respBytes = 64
 		}
-		s.reply(src, resp, respBytes)
+		if s.rec != nil {
+			s.rec.Span("rpc.server", req.Method, req.Span, start, s.eng.Now())
+		}
+		s.reply(src, resp, respBytes, req.Span)
 	})
+	s.active = prev
 }
 
-func (s *Server) reply(dst netsim.Addr, resp response, bytes int) {
-	_ = s.ep.Send(dst, transport.Message{Payload: resp, Bytes: bytes})
+func (s *Server) reply(dst netsim.Addr, resp response, bytes int, span telemetry.RequestID) {
+	_ = s.ep.Send(dst, transport.Message{Payload: resp, Bytes: bytes, Span: span})
 }
 
 // Client issues requests.
@@ -161,9 +185,17 @@ type Client struct {
 	RetryBackoff   sim.Duration
 	DeadlineBudget sim.Duration
 
+	rec *telemetry.Recorder
+
 	Calls, Timeouts int64
 	Retries         int64 // retry attempts actually issued
 }
+
+// SetRecorder arms the telemetry plane: one span per Call covering
+// the whole exchange (all attempts and backoffs), named after the
+// method. Disarmed (nil) the call path is bit-identical to the
+// unhooked client.
+func (c *Client) SetRecorder(rec *telemetry.Recorder) { c.rec = rec }
 
 type pendingCall struct {
 	cb    func(val any, err error)
@@ -206,8 +238,23 @@ func (c *Client) onMessage(src netsim.Addr, msg transport.Message) {
 // with exponential backoff inside the deadline budget before cb sees
 // ErrTimeout.
 func (c *Client) Call(dst netsim.Addr, method string, arg any, argBytes int, cb func(val any, err error)) {
+	c.CallSpan(dst, method, arg, argBytes, 0, cb)
+}
+
+// CallSpan is Call carrying a request-scoped trace context: the span
+// id travels inside the request envelope to the server (where
+// ActiveSpan exposes it to handlers) and tags the client-side span.
+func (c *Client) CallSpan(dst netsim.Addr, method string, arg any, argBytes int, span telemetry.RequestID, cb func(val any, err error)) {
+	if c.rec != nil {
+		callStart := c.eng.Now()
+		inner := cb
+		cb = func(val any, err error) {
+			c.rec.Span("rpc.client", method, span, callStart, c.eng.Now())
+			inner(val, err)
+		}
+	}
 	if c.MaxRetries <= 0 {
-		c.attempt(dst, method, arg, argBytes, cb)
+		c.attempt(dst, method, arg, argBytes, span, cb)
 		return
 	}
 	var deadline sim.Time
@@ -216,7 +263,7 @@ func (c *Client) Call(dst netsim.Addr, method string, arg any, argBytes int, cb 
 	}
 	var try func(n int)
 	try = func(n int) {
-		c.attempt(dst, method, arg, argBytes, func(val any, err error) {
+		c.attempt(dst, method, arg, argBytes, span, func(val any, err error) {
 			if errors.Is(err, ErrTimeout) && n < c.MaxRetries {
 				backoff := c.RetryBackoff << uint(n)
 				// Retry only if another full attempt can still fit in the
@@ -239,7 +286,7 @@ func (c *Client) Call(dst netsim.Addr, method string, arg any, argBytes int, cb 
 }
 
 // attempt issues one wire attempt with its own timeout timer.
-func (c *Client) attempt(dst netsim.Addr, method string, arg any, argBytes int, cb func(val any, err error)) {
+func (c *Client) attempt(dst netsim.Addr, method string, arg any, argBytes int, span telemetry.RequestID, cb func(val any, err error)) {
 	c.Calls++
 	c.nextID++
 	id := c.nextID
@@ -255,7 +302,7 @@ func (c *Client) attempt(dst netsim.Addr, method string, arg any, argBytes int, 
 			cb(nil, ErrTimeout)
 		}
 	})
-	err := c.ep.Send(dst, transport.Message{Payload: request{ID: id, Method: method, Arg: arg}, Bytes: argBytes})
+	err := c.ep.Send(dst, transport.Message{Payload: request{ID: id, Method: method, Arg: arg, Span: span}, Bytes: argBytes, Span: span})
 	if err != nil {
 		delete(c.pending, id)
 		c.eng.Cancel(pc.timer)

@@ -6,6 +6,7 @@ import (
 
 	"hyperion/internal/nvme"
 	"hyperion/internal/sim"
+	"hyperion/internal/telemetry"
 )
 
 // Location says where a segment's bytes live.
@@ -113,10 +114,17 @@ type Store struct {
 	rrNext int
 	crcs   map[int64]uint32 // per-block CRCs; nil unless ChecksumReads
 
+	rec *telemetry.Recorder
+
 	Counters sim.CounterSet
 	// Lookups / CacheHits drive the E6 translation experiment.
 	Lookups, CacheHits int64
 }
+
+// SetRecorder arms the telemetry plane: a latency sample per Lookup
+// (0 on cache hits, one DRAM access on misses) plus hit/read/write
+// counters. Disarmed (nil) the hooks are pure nil checks.
+func (s *Store) SetRecorder(rec *telemetry.Recorder) { s.rec = rec }
 
 // devStride separates per-device NVMe address spaces inside Segment.Addr.
 const devStride = int64(1) << 44
@@ -260,8 +268,16 @@ func (s *Store) Lookup(id ObjectID) (*Segment, sim.Duration, error) {
 			s.cache.remove(id)
 			s.CacheHits--
 		} else {
+			if s.rec != nil {
+				s.rec.Observe("seg", "lookup", 0)
+				s.rec.Count("seg", "cache_hits", 1)
+			}
 			return sg, 0, nil
 		}
+	}
+	// Every remaining path pays one DRAM access to walk the table.
+	if s.rec != nil {
+		s.rec.Observe("seg", "lookup", s.cfg.DRAMLatency)
 	}
 	sg, ok := s.table[id]
 	if !ok {
@@ -300,6 +316,9 @@ func (s *Store) Read(id ObjectID, off, length int64, cb func(data []byte, err er
 		return
 	}
 	s.Counters.Get("reads").Add(1)
+	if s.rec != nil {
+		s.rec.Count("seg", "reads", 1)
+	}
 	if sg.Loc == LocDRAM {
 		d := tcost + s.dramTime(length)
 		addr := sg.Addr + off
@@ -343,6 +362,9 @@ func (s *Store) Write(id ObjectID, off int64, data []byte, cb func(err error)) {
 		return
 	}
 	s.Counters.Get("writes").Add(1)
+	if s.rec != nil {
+		s.rec.Count("seg", "writes", 1)
+	}
 	if sg.Loc == LocDRAM {
 		d := tcost + s.dramTime(length)
 		addr := sg.Addr + off

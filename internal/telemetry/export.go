@@ -1,0 +1,322 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"hyperion/internal/sim"
+)
+
+// psPerMicro converts picosecond sim time to the microsecond ts/dur
+// fields of the Chrome trace-event format.
+const psPerMicro = 1_000_000
+
+// fmtMicros renders ps as fixed-point microseconds with integer math
+// only — float formatting would invite platform-dependent digits.
+func fmtMicros(ps int64) string {
+	return fmt.Sprintf("%d.%06d", ps/psPerMicro, ps%psPerMicro)
+}
+
+// jstr marshals s as a JSON string literal.
+func jstr(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}
+
+// tidKey maps one (process, layer) pair to a Perfetto thread row.
+type tidKey struct {
+	pid   int
+	layer string
+}
+
+// ChromeTrace renders the whole sink (all children) as Chrome
+// trace-event JSON: "M" metadata naming processes and threads, then
+// one complete "X" event per span, sorted by (start, record order) so
+// timestamps are monotone and the byte stream is a pure function of
+// the recorded spans. Loadable by Perfetto / chrome://tracing.
+// Returns nil when disarmed.
+func (r *Recorder) ChromeTrace() []byte {
+	if r == nil {
+		return nil
+	}
+	s := r.s
+
+	// One thread per (pid, layer), numbered per process from 1 in
+	// first-span order.
+	tids := make(map[tidKey]int)
+	var tidOrder []tidKey
+	nextTid := make(map[int]int)
+	for _, e := range s.events {
+		k := tidKey{e.Pid, e.Layer}
+		if _, ok := tids[k]; !ok {
+			nextTid[e.Pid]++
+			tids[k] = nextTid[e.Pid]
+			tidOrder = append(tidOrder, k)
+		}
+	}
+
+	order := make([]int, len(s.events))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ea, eb := &s.events[order[a]], &s.events[order[b]]
+		if ea.Start != eb.Start {
+			return ea.Start < eb.Start
+		}
+		return ea.Seq < eb.Seq
+	})
+
+	var b bytes.Buffer
+	b.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
+	first := true
+	emit := func(format string, args ...any) {
+		if !first {
+			b.WriteString(",\n")
+		}
+		first = false
+		fmt.Fprintf(&b, format, args...)
+	}
+	for pid, name := range s.procs {
+		emit(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":%s}}`,
+			pid, jstr(name))
+	}
+	for _, k := range tidOrder {
+		emit(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":%s}}`,
+			k.pid, tids[k], jstr(k.layer))
+	}
+	for _, i := range order {
+		e := &s.events[i]
+		emit(`{"name":%s,"cat":%s,"ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"args":{"req":%d}}`,
+			jstr(e.Name), jstr(e.Layer), e.Pid, tids[tidKey{e.Pid, e.Layer}],
+			fmtMicros(int64(e.Start)), fmtMicros(int64(e.End.Sub(e.Start))), e.Req)
+	}
+	b.WriteString("\n]}\n")
+	return b.Bytes()
+}
+
+// HistogramDump renders every latency histogram and counter in
+// creation order as aligned text tables. Creation order follows the
+// simulation's event order, so armed runs at the same seed dump
+// byte-identical text.
+func (r *Recorder) HistogramDump() string {
+	if r == nil {
+		return ""
+	}
+	s := r.s
+	var b bytes.Buffer
+	ht := sim.Table{Header: []string{
+		"proc", "layer", "name", "n", "min_ps", "p50_ps", "p90_ps", "p99_ps", "max_ps", "mean_ps"}}
+	for _, he := range s.hists {
+		h := &he.h
+		ht.AddRow(s.procs[he.key.pid], he.key.layer, he.key.name,
+			fmt.Sprintf("%d", h.Count()),
+			fmt.Sprintf("%d", int64(h.Min())),
+			fmt.Sprintf("%d", int64(h.Quantile(0.50))),
+			fmt.Sprintf("%d", int64(h.Quantile(0.90))),
+			fmt.Sprintf("%d", int64(h.Quantile(0.99))),
+			fmt.Sprintf("%d", int64(h.Max())),
+			fmt.Sprintf("%d", int64(h.Mean())))
+	}
+	b.WriteString("== latency histograms (log2 buckets)\n")
+	b.WriteString(ht.String())
+	if len(s.counts) > 0 {
+		ct := sim.Table{Header: []string{"proc", "layer", "name", "value"}}
+		for _, ce := range s.counts {
+			ct.AddRow(s.procs[ce.key.pid], ce.key.layer, ce.key.name,
+				fmt.Sprintf("%d", ce.n))
+		}
+		b.WriteString("== counters\n")
+		b.WriteString(ct.String())
+	}
+	return b.String()
+}
+
+// reqAgg accumulates one request's spans while scanning the event
+// buffer in record order.
+type reqAgg struct {
+	pid        int
+	req        RequestID
+	spans      int
+	start      sim.Time
+	end        sim.Time
+	stageOrder []string
+	stageDur   map[string]sim.Duration
+}
+
+// CriticalPath renders the per-request critical-path summary: for
+// every tagged request (req != 0) the end-to-end interval and the
+// stage (layer:name) that accounted for the most recorded time, plus
+// a dominant-stage frequency table across requests. All aggregation
+// walks creation-order slices, never map order.
+func (r *Recorder) CriticalPath() string {
+	if r == nil {
+		return ""
+	}
+	s := r.s
+	type groupKey struct {
+		pid int
+		req RequestID
+	}
+	idx := make(map[groupKey]int)
+	var groups []*reqAgg
+	for i := range s.events {
+		e := &s.events[i]
+		if e.Req == 0 {
+			continue
+		}
+		k := groupKey{e.Pid, e.Req}
+		gi, ok := idx[k]
+		if !ok {
+			gi = len(groups)
+			groups = append(groups, &reqAgg{
+				pid: e.Pid, req: e.Req,
+				start: e.Start, end: e.End,
+				stageDur: make(map[string]sim.Duration),
+			})
+			idx[k] = gi
+		}
+		g := groups[gi]
+		g.spans++
+		if e.Start < g.start {
+			g.start = e.Start
+		}
+		if e.End > g.end {
+			g.end = e.End
+		}
+		stage := e.Layer + ":" + e.Name
+		if _, seen := g.stageDur[stage]; !seen {
+			g.stageOrder = append(g.stageOrder, stage)
+		}
+		g.stageDur[stage] += e.End.Sub(e.Start)
+	}
+
+	t := sim.Table{Header: []string{
+		"proc", "req", "spans", "e2e_ps", "critical_stage", "stage_ps", "share_pct"}}
+	domOrder := []string{}
+	domCount := map[string]int{}
+	for _, g := range groups {
+		var dom string
+		var domDur sim.Duration
+		for _, stage := range g.stageOrder {
+			if d := g.stageDur[stage]; dom == "" || d > domDur {
+				dom, domDur = stage, d
+			}
+		}
+		e2e := g.end.Sub(g.start)
+		share := int64(0)
+		if e2e > 0 {
+			share = int64(domDur) * 100 / int64(e2e)
+		}
+		t.AddRow(s.procs[g.pid], fmt.Sprintf("%d", g.req), fmt.Sprintf("%d", g.spans),
+			fmt.Sprintf("%d", int64(e2e)), dom,
+			fmt.Sprintf("%d", int64(domDur)), fmt.Sprintf("%d", share))
+		if _, seen := domCount[dom]; !seen {
+			domOrder = append(domOrder, dom)
+		}
+		domCount[dom]++
+	}
+
+	var b bytes.Buffer
+	b.WriteString("== per-request critical path\n")
+	b.WriteString(t.String())
+	if len(domOrder) > 0 {
+		ft := sim.Table{Header: []string{"critical_stage", "requests"}}
+		for _, stage := range domOrder {
+			ft.AddRow(stage, fmt.Sprintf("%d", domCount[stage]))
+		}
+		b.WriteString("== dominant-stage frequency\n")
+		b.WriteString(ft.String())
+	}
+	return b.String()
+}
+
+// vEvent mirrors the trace-event fields the validator checks.
+// Pointers distinguish "absent" from zero.
+type vEvent struct {
+	Name *string  `json:"name"`
+	Cat  string   `json:"cat"`
+	Ph   string   `json:"ph"`
+	Pid  *int     `json:"pid"`
+	Tid  *int     `json:"tid"`
+	Ts   *float64 `json:"ts"`
+	Dur  *float64 `json:"dur"`
+}
+
+type vTrace struct {
+	TraceEvents []vEvent `json:"traceEvents"`
+}
+
+// ValidateChromeTrace checks that data is a loadable Chrome
+// trace-event JSON document: every event carries name/ph/pid/tid,
+// phases are M, X, B or E, X events carry a non-negative dur, B/E
+// events pair up per thread, and non-metadata timestamps are
+// monotonically non-decreasing in stream order (the exporter sorts by
+// start time, so any regression means broken sim-time bookkeeping).
+func ValidateChromeTrace(data []byte) error {
+	var tr vTrace
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return fmt.Errorf("trace is not valid JSON: %w", err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		return fmt.Errorf("trace has no traceEvents")
+	}
+	type threadKey struct{ pid, tid int }
+	open := make(map[threadKey][]string)
+	var openOrder []threadKey
+	lastTs := -1.0
+	for i, e := range tr.TraceEvents {
+		if e.Name == nil || *e.Name == "" {
+			return fmt.Errorf("event %d: missing name", i)
+		}
+		if e.Pid == nil || e.Tid == nil {
+			return fmt.Errorf("event %d (%s): missing pid/tid", i, *e.Name)
+		}
+		switch e.Ph {
+		case "M":
+			continue
+		case "X", "B", "E":
+		default:
+			return fmt.Errorf("event %d (%s): unsupported phase %q", i, *e.Name, e.Ph)
+		}
+		if e.Ts == nil {
+			return fmt.Errorf("event %d (%s): missing ts", i, *e.Name)
+		}
+		if *e.Ts < lastTs {
+			return fmt.Errorf("event %d (%s): ts %v regresses below %v", i, *e.Name, *e.Ts, lastTs)
+		}
+		lastTs = *e.Ts
+		k := threadKey{*e.Pid, *e.Tid}
+		switch e.Ph {
+		case "X":
+			if e.Dur == nil {
+				return fmt.Errorf("event %d (%s): X event missing dur", i, *e.Name)
+			}
+			if *e.Dur < 0 {
+				return fmt.Errorf("event %d (%s): negative dur %v", i, *e.Name, *e.Dur)
+			}
+		case "B":
+			if _, seen := open[k]; !seen {
+				openOrder = append(openOrder, k)
+			}
+			open[k] = append(open[k], *e.Name)
+		case "E":
+			stack := open[k]
+			if len(stack) == 0 {
+				return fmt.Errorf("event %d (%s): E without matching B on pid %d tid %d", i, *e.Name, *e.Pid, *e.Tid)
+			}
+			if top := stack[len(stack)-1]; top != *e.Name {
+				return fmt.Errorf("event %d: E %q does not close B %q", i, *e.Name, top)
+			}
+			open[k] = stack[:len(stack)-1]
+		}
+	}
+	for _, k := range openOrder {
+		if stack := open[k]; len(stack) > 0 {
+			return fmt.Errorf("pid %d tid %d: %d unclosed B events (first %q)", k.pid, k.tid, len(stack), stack[0])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"hyperion/internal/sim"
+)
+
+// numBuckets covers every non-negative int64: bucket 0 holds values
+// ≤ 0 (and 0 itself), bucket b holds [2^(b-1), 2^b) picoseconds.
+const numBuckets = 65
+
+// Histogram is a log2-bucketed latency histogram. The zero value is
+// ready to use, and every method is nil-safe, so an unarmed layer can
+// hold one by value at no cost. Quantile estimates are exact to
+// within one power-of-two bucket, which is plenty to tell a 2 µs
+// arbiter stall from a 200 µs storage stall.
+type Histogram struct {
+	count   uint64
+	sum     int64
+	min     int64
+	max     int64
+	buckets [numBuckets]uint64
+}
+
+// bucketOf maps a value to its bucket: 0 for v ≤ 0, else
+// bits.Len64(v) so that bucket b spans [2^(b-1), 2^b).
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// BucketLower is the inclusive lower bound of bucket b in
+// picoseconds — the value Quantile reports for ranks landing in b.
+func BucketLower(b int) sim.Duration {
+	if b <= 0 {
+		return 0
+	}
+	v := int64(1) << uint(b-1)
+	return sim.Duration(v)
+}
+
+// Observe folds one sample into the histogram.
+func (h *Histogram) Observe(d sim.Duration) {
+	if h == nil {
+		return
+	}
+	v := int64(d)
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[bucketOf(v)]++
+}
+
+// Merge folds every sample of o into h. Merging nil or empty is a
+// no-op; merge(h1,h2) is indistinguishable from observing the
+// concatenation of both sample streams.
+func (h *Histogram) Merge(o *Histogram) {
+	if h == nil || o == nil || o.count == 0 {
+		return
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if h.count == 0 || o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+	for i := range o.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+}
+
+// Count returns the number of observed samples.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Min returns the smallest observed sample (0 when empty).
+func (h *Histogram) Min() sim.Duration {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return sim.Duration(h.min)
+}
+
+// Max returns the largest observed sample (0 when empty).
+func (h *Histogram) Max() sim.Duration {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return sim.Duration(h.max)
+}
+
+// Mean returns the arithmetic mean of observed samples (0 when
+// empty).
+func (h *Histogram) Mean() sim.Duration {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return sim.Duration(h.sum / int64(h.count))
+}
+
+// Quantile returns the lower bound of the bucket containing the
+// q-quantile sample (nearest-rank), clamped to [Min, Max] so the
+// estimate never strays outside the observed range. The estimate e
+// and the exact quantile x always share a bucket: they differ by less
+// than one power of two. Returns 0 on an empty histogram.
+func (h *Histogram) Quantile(q float64) sim.Duration {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	v := sim.Duration(h.max)
+	for b := 0; b < numBuckets; b++ {
+		cum += h.buckets[b]
+		if cum >= rank {
+			v = BucketLower(b)
+			break
+		}
+	}
+	if v < sim.Duration(h.min) {
+		v = sim.Duration(h.min)
+	}
+	if v > sim.Duration(h.max) {
+		v = sim.Duration(h.max)
+	}
+	return v
+}
+
+// String renders a one-line summary with raw picosecond integers —
+// integer formatting keeps dumps byte-stable across platforms.
+func (h *Histogram) String() string {
+	if h == nil || h.count == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d min=%dps p50=%dps p90=%dps p99=%dps max=%dps mean=%dps",
+		h.count, h.min,
+		int64(h.Quantile(0.50)), int64(h.Quantile(0.90)), int64(h.Quantile(0.99)),
+		h.max, int64(h.sum/int64(h.count)))
+}

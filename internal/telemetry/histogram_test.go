@@ -1,0 +1,165 @@
+package telemetry
+
+import (
+	"sort"
+	"testing"
+
+	"hyperion/internal/sim"
+)
+
+// exactQuantile is the nearest-rank quantile over a sorted sample set,
+// the reference the log2 estimate is checked against.
+func exactQuantile(sorted []sim.Duration, q float64) sim.Duration {
+	rank := int(q * float64(len(sorted)))
+	if float64(rank) < q*float64(len(sorted)) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// sampleSets generates deterministic sample distributions from seeded
+// sim.Rand streams — one per shape the datapath actually produces.
+func sampleSets() map[string][]sim.Duration {
+	sets := make(map[string][]sim.Duration)
+	uniform := sim.NewRand(11)
+	var u []sim.Duration
+	for i := 0; i < 500; i++ {
+		u = append(u, uniform.Duration(sim.Nanosecond, sim.Millisecond))
+	}
+	sets["uniform"] = u
+	exp := sim.NewRand(12)
+	var e []sim.Duration
+	for i := 0; i < 500; i++ {
+		e = append(e, exp.Exp(10*sim.Microsecond))
+	}
+	sets["exponential"] = e
+	// Heavily repeated values exercise bucket-boundary ranks.
+	rep := sim.NewRand(13)
+	var r []sim.Duration
+	for i := 0; i < 300; i++ {
+		r = append(r, sim.Duration(1+rep.Intn(4))*sim.Microsecond)
+	}
+	sets["repeated"] = r
+	sets["single"] = []sim.Duration{42 * sim.Nanosecond}
+	sets["with-zero"] = []sim.Duration{0, sim.Nanosecond, 2 * sim.Nanosecond}
+	return sets
+}
+
+// TestQuantileWithinOneBucket: for every distribution and quantile, the
+// log2 estimate is ≤ the exact nearest-rank value and within one
+// power-of-two bucket of it (exact < 2·estimate for positive samples).
+func TestQuantileWithinOneBucket(t *testing.T) {
+	for name, samples := range sampleSets() {
+		var h Histogram
+		sorted := append([]sim.Duration(nil), samples...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for _, s := range samples {
+			h.Observe(s)
+		}
+		for _, q := range []float64{0, 0.01, 0.25, 0.50, 0.90, 0.99, 1} {
+			est, exact := h.Quantile(q), exactQuantile(sorted, q)
+			if est > exact {
+				t.Errorf("%s q=%v: estimate %d exceeds exact %d", name, q, est, exact)
+			}
+			if exact > 0 && exact >= 2*est && est < h.Quantile(1) {
+				// est below exact's bucket floor would mean > one bucket of
+				// error; the clamp to max can only pull the estimate up.
+				t.Errorf("%s q=%v: estimate %d more than one bucket below exact %d", name, q, est, exact)
+			}
+			if est < h.Min() || est > h.Max() {
+				t.Errorf("%s q=%v: estimate %d outside observed [%d, %d]", name, q, est, h.Min(), h.Max())
+			}
+		}
+	}
+}
+
+// TestMergeEqualsConcatenation: merge(h1, h2) must be indistinguishable
+// from observing the concatenated sample stream.
+func TestMergeEqualsConcatenation(t *testing.T) {
+	rng := sim.NewRand(21)
+	var a, b, all Histogram
+	for i := 0; i < 400; i++ {
+		s := rng.Duration(0, 10*sim.Microsecond)
+		if i%3 == 0 {
+			a.Observe(s)
+		} else {
+			b.Observe(s)
+		}
+		all.Observe(s)
+	}
+	a.Merge(&b)
+	if a.Count() != all.Count() || a.Min() != all.Min() || a.Max() != all.Max() ||
+		a.Mean() != all.Mean() {
+		t.Fatalf("merge stats diverge: merged %s vs concat %s", a.String(), all.String())
+	}
+	if a.String() != all.String() {
+		t.Fatalf("merge summary diverges:\nmerged %s\nconcat %s", a.String(), all.String())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		if a.Quantile(q) != all.Quantile(q) {
+			t.Errorf("q=%v: merged %d vs concat %d", q, a.Quantile(q), all.Quantile(q))
+		}
+	}
+}
+
+// TestHistogramZeroValueAndNil: the zero value is ready to use and a
+// nil histogram is safe for every method.
+func TestHistogramZeroValueAndNil(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 ||
+		h.Quantile(0.5) != 0 || h.String() != "n=0" {
+		t.Fatalf("zero-value histogram not empty: %s", h.String())
+	}
+	var empty Histogram
+	h.Merge(&empty) // merging empty keeps h empty
+	if h.Count() != 0 {
+		t.Fatal("merging an empty histogram changed the target")
+	}
+	var nilH *Histogram
+	nilH.Observe(sim.Microsecond)
+	nilH.Merge(&h)
+	if nilH.Count() != 0 || nilH.Min() != 0 || nilH.Max() != 0 ||
+		nilH.Mean() != 0 || nilH.Quantile(0.9) != 0 || nilH.String() != "n=0" {
+		t.Fatal("nil histogram methods are not no-ops")
+	}
+	h.Observe(5 * sim.Nanosecond)
+	h.Merge(nilH) // merging nil is a no-op
+	if h.Count() != 1 {
+		t.Fatal("merging nil changed the target")
+	}
+}
+
+// TestBucketBoundaries pins the bucket layout: bucket b spans
+// [2^(b-1), 2^b), with bucket 0 catching zero and negatives.
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1023, 10}, {1024, 11}, {1 << 40, 41},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	if BucketLower(0) != 0 || BucketLower(1) != 1 || BucketLower(11) != 1024 {
+		t.Error("BucketLower does not invert bucketOf at bucket lower bounds")
+	}
+	for b := 1; b < numBuckets-1; b++ {
+		lo := int64(BucketLower(b))
+		if bucketOf(lo) != b {
+			t.Fatalf("bucket %d lower bound %d maps to bucket %d", b, lo, bucketOf(lo))
+		}
+		if bucketOf(lo-1) >= b && lo > 1 {
+			t.Fatalf("value %d below bucket %d lower bound still maps into it", lo-1, b)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidateAcceptsPairedBE: a handcrafted document with nested B/E
+// pairs and metadata passes — the validator accepts the full phase set,
+// not only what our exporter emits.
+func TestValidateAcceptsPairedBE(t *testing.T) {
+	doc := `{"traceEvents":[
+		{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"p"}},
+		{"name":"outer","ph":"B","pid":1,"tid":1,"ts":0},
+		{"name":"inner","ph":"B","pid":1,"tid":1,"ts":1.5},
+		{"name":"inner","ph":"E","pid":1,"tid":1,"ts":2},
+		{"name":"op","ph":"X","pid":1,"tid":2,"ts":2,"dur":3},
+		{"name":"outer","ph":"E","pid":1,"tid":1,"ts":9}
+	]}`
+	if err := ValidateChromeTrace([]byte(doc)); err != nil {
+		t.Fatalf("valid paired B/E document rejected: %v", err)
+	}
+}
+
+// TestValidateRejections walks every malformed-document class the
+// validator must catch, checking both rejection and the diagnostic.
+func TestValidateRejections(t *testing.T) {
+	wrap := func(events string) string {
+		return `{"traceEvents":[` + events + `]}`
+	}
+	cases := []struct {
+		name    string
+		doc     string
+		wantErr string
+	}{
+		{"invalid json", `{"traceEvents":[`, "not valid JSON"},
+		{"no events", `{"traceEvents":[]}`, "no traceEvents"},
+		{"missing name", wrap(`{"ph":"X","pid":1,"tid":1,"ts":0,"dur":1}`), "missing name"},
+		{"empty name", wrap(`{"name":"","ph":"X","pid":1,"tid":1,"ts":0,"dur":1}`), "missing name"},
+		{"missing pid", wrap(`{"name":"a","ph":"X","tid":1,"ts":0,"dur":1}`), "missing pid/tid"},
+		{"missing tid", wrap(`{"name":"a","ph":"X","pid":1,"ts":0,"dur":1}`), "missing pid/tid"},
+		{"bad phase", wrap(`{"name":"a","ph":"Q","pid":1,"tid":1,"ts":0}`), "unsupported phase"},
+		{"missing ts", wrap(`{"name":"a","ph":"X","pid":1,"tid":1,"dur":1}`), "missing ts"},
+		{"ts regression", wrap(
+			`{"name":"a","ph":"X","pid":1,"tid":1,"ts":5,"dur":1},` +
+				`{"name":"b","ph":"X","pid":1,"tid":1,"ts":4,"dur":1}`), "regresses"},
+		{"missing dur", wrap(`{"name":"a","ph":"X","pid":1,"tid":1,"ts":0}`), "missing dur"},
+		{"negative dur", wrap(`{"name":"a","ph":"X","pid":1,"tid":1,"ts":0,"dur":-2}`), "negative dur"},
+		{"E without B", wrap(`{"name":"a","ph":"E","pid":1,"tid":1,"ts":0}`), "E without matching B"},
+		{"E on other thread", wrap(
+			`{"name":"a","ph":"B","pid":1,"tid":1,"ts":0},` +
+				`{"name":"a","ph":"E","pid":1,"tid":2,"ts":1}`), "E without matching B"},
+		{"E closes wrong B", wrap(
+			`{"name":"a","ph":"B","pid":1,"tid":1,"ts":0},` +
+				`{"name":"b","ph":"E","pid":1,"tid":1,"ts":1}`), "does not close"},
+		{"unclosed B", wrap(`{"name":"a","ph":"B","pid":1,"tid":1,"ts":0}`), "unclosed B"},
+	}
+	for _, c := range cases {
+		err := ValidateChromeTrace([]byte(c.doc))
+		if err == nil {
+			t.Errorf("%s: accepted, want error containing %q", c.name, c.wantErr)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wantErr)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package transport
 import (
 	"hyperion/internal/netsim"
 	"hyperion/internal/sim"
+	"hyperion/internal/telemetry"
 )
 
 // Homa-like transport: message-oriented, receiver-driven. The first
@@ -44,6 +45,7 @@ type homaSend struct {
 	sent     int  // frags transmitted (first pass)
 	granted  int  // frags the receiver has released
 	progress bool // grant/done seen since last sender RTO
+	span     telemetry.RequestID
 }
 
 type homaRecv struct {
@@ -57,6 +59,7 @@ type homaRecv struct {
 	lastAct  sim.Time
 	timer    sim.EventRef
 	done     bool
+	span     telemetry.RequestID
 }
 
 func newHoma(eng *sim.Engine, nic *netsim.NIC) *homaEndpoint {
@@ -89,6 +92,7 @@ func (h *homaEndpoint) Send(dst netsim.Addr, msg Message) error {
 		payload: msg.Payload,
 		total:   fragsFor(msg.Bytes),
 		granted: unschedFrags,
+		span:    msg.Span,
 	}
 	h.outbound[s.id] = s
 	h.stats.Sent++
@@ -127,11 +131,11 @@ func (h *homaEndpoint) pump(s *homaSend) {
 }
 
 func (h *homaEndpoint) sendFrag(s *homaSend, i int) {
-	frag := dataFrag{MsgID: s.id, Index: i, Total: s.total, Bytes: s.bytes}
+	frag := dataFrag{MsgID: s.id, Index: i, Total: s.total, Bytes: s.bytes, Span: s.span}
 	if i == s.total-1 {
 		frag.Payload = s.payload
 	}
-	_ = h.nic.Send(netsim.Frame{Dst: s.dst, Payload: frag, Bytes: fragWire(s.bytes, i)})
+	_ = h.nic.Send(netsim.Frame{Dst: s.dst, Payload: frag, Bytes: fragWire(s.bytes, i), Span: frag.Span})
 	h.stats.DataFrames++
 }
 
@@ -176,6 +180,7 @@ func (h *homaEndpoint) onData(src netsim.Addr, frag dataFrag) {
 			bytes:    frag.Bytes,
 			received: make(map[int]bool),
 			granted:  unschedFrags,
+			span:     frag.Span,
 		}
 		h.inbound[key] = r
 		h.armTimer(key, r)
@@ -195,10 +200,10 @@ func (h *homaEndpoint) onData(src netsim.Addr, frag dataFrag) {
 		h.sendCtrl(src, ctrlMsg{Op: doneOp, MsgID: r.id})
 		delete(h.inbound, key)
 		h.stats.Delivered++
-		payload, bytes := r.payload, r.bytes
+		payload, bytes, span := r.payload, r.bytes, r.span
 		h.eng.After(h.overhead, "homa.deliver", func() {
 			if h.handler != nil {
-				h.handler(src, Message{Payload: payload, Bytes: bytes})
+				h.handler(src, Message{Payload: payload, Bytes: bytes, Span: span})
 			}
 		})
 		return

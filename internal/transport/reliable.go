@@ -91,7 +91,7 @@ func (r *reliableEndpoint) Send(dst netsim.Addr, msg Message) error {
 	r.stats.Sent++
 	r.eng.After(r.p.SendOverhead, "rel.send", func() {
 		for i := 0; i < n; i++ {
-			frag := dataFrag{MsgID: id, Index: i, Total: n, Bytes: msg.Bytes, Seq: c.nextSeq}
+			frag := dataFrag{MsgID: id, Index: i, Total: n, Bytes: msg.Bytes, Seq: c.nextSeq, Span: msg.Span}
 			if i == n-1 {
 				frag.Payload = msg.Payload
 			}
@@ -138,7 +138,7 @@ func (r *reliableEndpoint) pump(c *sendConn) {
 func (r *reliableEndpoint) transmit(c *sendConn, of outFrag) {
 	d := r.cpuDelay()
 	send := func() {
-		_ = r.nic.Send(netsim.Frame{Dst: c.dst, Payload: of.frag, Bytes: of.wire})
+		_ = r.nic.Send(netsim.Frame{Dst: c.dst, Payload: of.frag, Bytes: of.wire, Span: of.frag.Span})
 		r.stats.DataFrames++
 	}
 	if d > 0 {
@@ -226,7 +226,7 @@ func (r *reliableEndpoint) onData(src netsim.Addr, frag dataFrag) {
 func (r *reliableEndpoint) accept(src netsim.Addr, p *recvConn, frag dataFrag) {
 	rm, ok := p.partial[frag.MsgID]
 	if !ok {
-		rm = &reasm{total: frag.Total, bytes: frag.Bytes}
+		rm = &reasm{total: frag.Total, bytes: frag.Bytes, span: frag.Span}
 		p.partial[frag.MsgID] = rm
 	}
 	rm.have++
@@ -236,10 +236,10 @@ func (r *reliableEndpoint) accept(src netsim.Addr, p *recvConn, frag dataFrag) {
 	if rm.have == rm.total {
 		delete(p.partial, frag.MsgID)
 		r.stats.Delivered++
-		payload, bytes := rm.payload, rm.bytes
+		payload, bytes, span := rm.payload, rm.bytes, rm.span
 		r.eng.After(r.p.RecvOverhead, "rel.deliver", func() {
 			if r.handler != nil {
-				r.handler(src, Message{Payload: payload, Bytes: bytes})
+				r.handler(src, Message{Payload: payload, Bytes: bytes, Span: span})
 			}
 		})
 	}

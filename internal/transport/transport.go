@@ -13,6 +13,7 @@ import (
 
 	"hyperion/internal/netsim"
 	"hyperion/internal/sim"
+	"hyperion/internal/telemetry"
 )
 
 // Kind selects a transport protocol.
@@ -49,10 +50,14 @@ const FragBytes = 4096
 // headerBytes approximates L2–L4 headers per frame.
 const headerBytes = 64
 
-// Message is an application-level unit.
+// Message is an application-level unit. Span is the request-scoped
+// trace context; transports copy it onto every fragment and frame of
+// the message and restore it on delivery, so a request id set by the
+// sender survives fragmentation, retransmission and reassembly.
 type Message struct {
 	Payload any
 	Bytes   int
+	Span    telemetry.RequestID
 }
 
 // Endpoint is a transport instance bound to one NIC.
@@ -136,6 +141,7 @@ type reasm struct {
 	total   int
 	payload any
 	bytes   int
+	span    telemetry.RequestID
 }
 
 // dataFrag is the payload of a data frame.
@@ -146,6 +152,7 @@ type dataFrag struct {
 	Bytes   int    // total message bytes
 	Payload any    // carried on the last fragment only
 	Seq     uint64 // connection sequence number (reliable transports)
+	Span    telemetry.RequestID
 }
 
 // ctrlMsg is the payload of a control frame.

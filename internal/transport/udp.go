@@ -53,12 +53,12 @@ func (u *udpEndpoint) Send(dst netsim.Addr, msg Message) error {
 	u.stats.Sent++
 	u.eng.After(u.sendOverhead, "udp.send", func() {
 		for i := 0; i < n; i++ {
-			frag := dataFrag{MsgID: id, Index: i, Total: n, Bytes: msg.Bytes}
+			frag := dataFrag{MsgID: id, Index: i, Total: n, Bytes: msg.Bytes, Span: msg.Span}
 			if i == n-1 {
 				frag.Payload = msg.Payload
 			}
 			// Send errors mean the frame never left; UDP doesn't care.
-			_ = u.nic.Send(netsim.Frame{Dst: dst, Payload: frag, Bytes: fragWire(msg.Bytes, i)})
+			_ = u.nic.Send(netsim.Frame{Dst: dst, Payload: frag, Bytes: fragWire(msg.Bytes, i), Span: frag.Span})
 			u.stats.DataFrames++
 		}
 	})
@@ -73,7 +73,7 @@ func (u *udpEndpoint) onFrame(f netsim.Frame) {
 	key := fmt.Sprintf("%s/%d", f.Src, frag.MsgID)
 	r, ok := u.partial[key]
 	if !ok {
-		r = &reasm{total: frag.Total, bytes: frag.Bytes}
+		r = &reasm{total: frag.Total, bytes: frag.Bytes, span: frag.Span}
 		u.partial[key] = r
 		// Garbage-collect incomplete messages: that is UDP loss.
 		u.eng.After(u.reasmTimeout, "udp.gc", func() {
@@ -91,10 +91,10 @@ func (u *udpEndpoint) onFrame(f netsim.Frame) {
 		delete(u.partial, key)
 		u.stats.Delivered++
 		src := f.Src
-		payload, bytes := r.payload, r.bytes
+		payload, bytes, span := r.payload, r.bytes, r.span
 		u.eng.After(u.recvOverhead, "udp.deliver", func() {
 			if u.handler != nil {
-				u.handler(src, Message{Payload: payload, Bytes: bytes})
+				u.handler(src, Message{Payload: payload, Bytes: bytes, Span: span})
 			}
 		})
 	}

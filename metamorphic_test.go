@@ -1,10 +1,12 @@
 package hyperion
 
 import (
+	"crypto/sha256"
 	"fmt"
 	"testing"
 
 	"hyperion/internal/bench"
+	"hyperion/internal/telemetry"
 )
 
 // TestMetamorphicDeterminism is the seed-sweep form of the determinism
@@ -43,6 +45,85 @@ func TestMetamorphicDeterminism(t *testing.T) {
 				}
 				if len(r1.Table.Rows) == 0 {
 					t.Fatalf("%s produced no rows at seed %d", e.ID, seed)
+				}
+			})
+		}
+	}
+}
+
+// tracedDump bundles every armed-run artifact whose bytes the traced
+// determinism sweep compares.
+type tracedDump struct {
+	table string
+	trace []byte
+	hist  string
+	crit  string
+}
+
+func runTraced(t *testing.T, e bench.Experiment, seed uint64) tracedDump {
+	t.Helper()
+	res, rec, ok := bench.RunTracedExperiment(e, seed)
+	if !ok {
+		t.Fatalf("%s lost its traced form", e.ID)
+	}
+	if rec.Events() == 0 {
+		t.Fatalf("%s recorded no spans while armed at seed %d", e.ID, seed)
+	}
+	return tracedDump{
+		table: res.Table.String(),
+		trace: rec.ChromeTrace(),
+		hist:  rec.HistogramDump(),
+		crit:  rec.CriticalPath(),
+	}
+}
+
+// TestTracedMetamorphicDeterminism extends the seed sweep to the armed
+// telemetry plane: for every traced experiment and seed, two armed runs
+// must produce byte-identical trace JSON, histogram dumps, and
+// critical-path summaries; the armed table must equal the disarmed
+// table at the same seed (tracing is observation, never perturbation);
+// and at the golden DefaultSeed the armed table must still hash to the
+// cross-revision golden value.
+func TestTracedMetamorphicDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every traced experiment repeatedly")
+	}
+	seeds := []uint64{1, 2, 3}
+	for _, e := range bench.All() {
+		if e.RunTraced == nil {
+			continue
+		}
+		for _, seed := range seeds {
+			e, seed := e, seed
+			t.Run(fmt.Sprintf("%s/seed%d", e.ID, seed), func(t *testing.T) {
+				t.Parallel()
+				d1 := runTraced(t, e, seed)
+				d2 := runTraced(t, e, seed)
+				if string(d1.trace) != string(d2.trace) {
+					t.Errorf("%s: trace JSON diverged across two armed runs at seed %d", e.ID, seed)
+				}
+				if d1.hist != d2.hist {
+					t.Errorf("%s: histogram dump diverged at seed %d:\n--- first ---\n%s\n--- second ---\n%s",
+						e.ID, seed, d1.hist, d2.hist)
+				}
+				if d1.crit != d2.crit {
+					t.Errorf("%s: critical-path summary diverged at seed %d:\n--- first ---\n%s\n--- second ---\n%s",
+						e.ID, seed, d1.crit, d2.crit)
+				}
+				if err := telemetry.ValidateChromeTrace(d1.trace); err != nil {
+					t.Errorf("%s: armed trace fails schema validation at seed %d: %v", e.ID, seed, err)
+				}
+				dres := e.RunSeeded(seed)
+				disarmed := dres.Table.String()
+				if d1.table != disarmed {
+					t.Errorf("%s: arming telemetry changed the table at seed %d:\n--- armed ---\n%s\n--- disarmed ---\n%s",
+						e.ID, seed, d1.table, disarmed)
+				}
+				if seed == bench.DefaultSeed {
+					want := goldenTableHashes[e.ID]
+					if got := fmt.Sprintf("%x", sha256.Sum256([]byte(d1.table))); got != want {
+						t.Errorf("%s: armed table drifted from the golden hash:\n got %s\nwant %s", e.ID, got, want)
+					}
 				}
 			})
 		}

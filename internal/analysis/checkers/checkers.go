@@ -11,6 +11,7 @@ import (
 	"hyperion/internal/analysis/maprange"
 	"hyperion/internal/analysis/nodeterm"
 	"hyperion/internal/analysis/simtime"
+	"hyperion/internal/analysis/unsafeptr"
 )
 
 // All returns the full hyperlint suite in stable order.
@@ -20,6 +21,7 @@ func All() []*analysis.Analyzer {
 		maprange.Analyzer,
 		eventref.Analyzer,
 		simtime.Analyzer,
+		unsafeptr.Analyzer,
 	}
 }
 

@@ -1,0 +1,8 @@
+// Package unsafeptr is hyperlint golden-test input: model-layer code
+// importing unsafe is flagged; internal/wire (not representable here)
+// is the only sanctioned importer.
+package unsafeptr
+
+import "unsafe" // want `unsafe is confined to internal/wire`
+
+func addrOf(p *int) uintptr { return uintptr(unsafe.Pointer(p)) }

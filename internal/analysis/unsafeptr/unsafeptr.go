@@ -1,0 +1,45 @@
+// Package unsafeptr confines package unsafe to internal/wire. The wire
+// package's fixed-array endian decode is the one place Hyperion trades
+// memory safety for speed, and it pays for the privilege with a
+// build-tagged safe fallback, a big-endian init guard, and aliasing
+// property tests. Everywhere else an unsafe.Pointer is a latent
+// correctness bug the determinism contract cannot see, so any other
+// import of unsafe — model or harness layer — is flagged. Code with a
+// proven need can annotate the import with
+// //hyperlint:allow(unsafeptr) and a justification.
+package unsafeptr
+
+import (
+	"strings"
+
+	"hyperion/internal/analysis"
+)
+
+// Analyzer is the unsafeptr pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "unsafeptr",
+	Doc:  "flags imports of unsafe outside internal/wire",
+	Run:  run,
+}
+
+// wirePath is the only package allowed to import unsafe.
+const wirePath = analysis.ModulePath + "/internal/wire"
+
+func run(pass *analysis.Pass) error {
+	if pass.Layer == analysis.LayerExempt {
+		return nil
+	}
+	if pass.Path == wirePath || pass.Path == "internal/wire" {
+		return nil
+	}
+	for _, f := range pass.NonTestFiles() {
+		for _, imp := range f.Imports {
+			if strings.Trim(imp.Path.Value, `"`) != "unsafe" {
+				continue
+			}
+			pass.Reportf(imp.Pos(),
+				"unsafe is confined to internal/wire: decode through the wire.BE*/LE* fixed-array types instead")
+		}
+	}
+	return nil
+}

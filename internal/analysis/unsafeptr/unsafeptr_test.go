@@ -1,0 +1,13 @@
+package unsafeptr_test
+
+import (
+	"testing"
+
+	"hyperion/internal/analysis/analysistest"
+	"hyperion/internal/analysis/unsafeptr"
+)
+
+func TestUnsafeptr(t *testing.T) {
+	analysistest.Run(t, "../testdata", unsafeptr.Analyzer,
+		"unsafeptr", "unsafeptr_harness")
+}

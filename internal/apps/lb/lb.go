@@ -27,7 +27,7 @@ type Balancer struct {
 	backends []Backend
 	// Hot connection table: DRAM-resident, bounded (models on-card
 	// SRAM/DRAM capacity in connection entries).
-	hot     map[uint64]uint32
+	hot     flowTable
 	hotCap  int
 	hotCost sim.Duration // per hot-table access
 	// victims orders candidate evictions by key so a full hot table
@@ -60,14 +60,119 @@ func New(v *seg.SyncView, metaID seg.ObjectID, backends []Backend, hotCap int) (
 	if err != nil {
 		return nil, err
 	}
-	return &Balancer{
+	b := &Balancer{
 		v:        v,
 		backends: backends,
-		hot:      make(map[uint64]uint32),
 		hotCap:   hotCap,
 		hotCost:  200 * sim.Nanosecond,
 		spill:    spill,
-	}, nil
+	}
+	b.hot.init(hotCap)
+	return b, nil
+}
+
+// flowTable is the hot connection table as a struct-of-arrays
+// open-addressing hash (keys, values, and slot states in parallel
+// arrays with linear probing) — the layout an on-card CAM/SRAM lookup
+// pipeline uses, and measurably cheaper per access than a boxed map
+// for this fixed-shape u64→u32 workload.
+type flowTable struct {
+	keys  []uint64
+	vals  []uint32
+	state []uint8 // 0 empty, 1 full, 2 tombstone
+	n     int     // live entries
+	used  int     // full + tombstone slots
+	mask  uint64
+}
+
+func (t *flowTable) init(hint int) {
+	size := 16
+	for size < hint*2 {
+		size <<= 1
+	}
+	t.keys = make([]uint64, size)
+	t.vals = make([]uint32, size)
+	t.state = make([]uint8, size)
+	t.mask = uint64(size - 1)
+	t.n, t.used = 0, 0
+}
+
+// slot mixes the (already FNV-hashed) flow key into a probe start.
+func (t *flowTable) slot(k uint64) uint64 { return (k ^ k>>33) & t.mask }
+
+func (t *flowTable) get(k uint64) (uint32, bool) {
+	for i := t.slot(k); ; i = (i + 1) & t.mask {
+		switch t.state[i] {
+		case 0:
+			return 0, false
+		case 1:
+			if t.keys[i] == k {
+				return t.vals[i], true
+			}
+		}
+	}
+}
+
+func (t *flowTable) put(k uint64, v uint32) {
+	if (t.used+1)*4 > len(t.keys)*3 {
+		t.grow()
+	}
+	firstTomb := -1
+	for i := t.slot(k); ; i = (i + 1) & t.mask {
+		switch t.state[i] {
+		case 0:
+			if firstTomb >= 0 {
+				i = uint64(firstTomb)
+			} else {
+				t.used++
+			}
+			t.keys[i], t.vals[i], t.state[i] = k, v, 1
+			t.n++
+			return
+		case 1:
+			if t.keys[i] == k {
+				t.vals[i] = v
+				return
+			}
+		case 2:
+			if firstTomb < 0 {
+				firstTomb = int(i)
+			}
+		}
+	}
+}
+
+func (t *flowTable) del(k uint64) {
+	for i := t.slot(k); ; i = (i + 1) & t.mask {
+		switch t.state[i] {
+		case 0:
+			return
+		case 1:
+			if t.keys[i] == k {
+				t.state[i] = 2 // tombstone keeps probe chains intact
+				t.n--
+				return
+			}
+		}
+	}
+}
+
+func (t *flowTable) grow() {
+	ok, ov, os := t.keys, t.vals, t.state
+	size := len(ok)
+	if t.n*4 > size*2 { // genuinely full, not tombstone pressure
+		size <<= 1
+	}
+	t.keys = make([]uint64, size)
+	t.vals = make([]uint32, size)
+	t.state = make([]uint8, size)
+	t.mask = uint64(size - 1)
+	t.n, t.used = 0, 0
+	for i, s := range os {
+		if s == 1 {
+			t.put(ok[i], ov[i])
+		}
+	}
 }
 
 // flowKey hashes the 5-tuple.
@@ -135,10 +240,10 @@ func (b *Balancer) Steer(p trace.Packet) (uint32, error) {
 		b.insert(k, dst)
 		return dst, nil
 	}
-	if dst, ok := b.hot[k]; ok {
+	if dst, ok := b.hot.get(k); ok {
 		b.Hits++
 		if p.Flags == 0x01 { // FIN
-			delete(b.hot, k)
+			b.hot.del(k)
 			b.Closed++
 			return dst, nil
 		}
@@ -147,7 +252,7 @@ func (b *Balancer) Steer(p trace.Packet) (uint32, error) {
 			// one and repin the connection.
 			b.Failovers++
 			dst = b.pickBackend(k)
-			b.hot[k] = dst
+			b.hot.put(k, dst)
 		}
 		return dst, nil
 	}
@@ -184,28 +289,30 @@ func (b *Balancer) Steer(p trace.Packet) (uint32, error) {
 // insert places a flow in the hot table, spilling a victim to NVMe when
 // at capacity.
 func (b *Balancer) insert(k uint64, dst uint32) {
-	if len(b.hot) >= b.hotCap {
+	if b.hot.n >= b.hotCap {
 		// Evict the smallest resident key (hardware would use CLOCK;
 		// smallest-key keeps the choice fully reproducible). The victim
 		// heap holds every key ever inserted, so its minimum resident
 		// entry is exactly min(hot): pop and discard stale entries for
 		// keys that were closed or already evicted.
 		var victim uint64
+		var vdst uint32
 		for {
 			victim = b.victims.pop()
-			if _, ok := b.hot[victim]; ok {
+			if v, ok := b.hot.get(victim); ok {
+				vdst = v
 				break
 			}
 		}
-		binary.LittleEndian.PutUint32(b.vbuf[:], b.hot[victim])
+		binary.LittleEndian.PutUint32(b.vbuf[:], vdst)
 		if err := b.spill.Put(b.keyBytes(victim), b.vbuf[:]); err == nil {
 			b.Spills++
-			delete(b.hot, victim)
+			b.hot.del(victim)
 		} else {
 			b.victims.push(victim) // still resident; keep it evictable
 		}
 	}
-	b.hot[k] = dst
+	b.hot.put(k, dst)
 	b.victims.push(k)
 }
 
@@ -255,7 +362,7 @@ func (h *keyHeap) pop() uint64 {
 }
 
 // HotLen returns the hot-table occupancy.
-func (b *Balancer) HotLen() int { return len(b.hot) }
+func (b *Balancer) HotLen() int { return b.hot.n }
 
 // SpilledApprox reports how many spills occurred (spill-store occupancy
 // proxy).

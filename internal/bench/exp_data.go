@@ -14,6 +14,7 @@ import (
 	"hyperion/internal/storage/kvssd"
 	"hyperion/internal/trace"
 	"hyperion/internal/transport"
+	"hyperion/internal/wire"
 )
 
 // ColumnarScan reproduces §2.3: annotation-driven file access plus
@@ -38,7 +39,7 @@ func ColumnarScan(seed uint64) Result {
 		{Name: "value", Type: colfmt.TypeInt64},
 	}}, 4096)
 	for i := 0; i < rows; i++ {
-		if err := w.Append(int64(i), int64(i%1000)); err != nil {
+		if err := w.AppendInt64s(int64(i), int64(i%1000)); err != nil {
 			panic(err)
 		}
 	}
@@ -184,9 +185,10 @@ func NVMeoF(seed uint64) Result {
 			eng.Run()
 			return end.Sub(start), ok
 		}
-		r4, ok1 := call(nvmeof.MethodRead, nvmeof.ReadArgs{LBA: 0, Blocks: 1}, 64)
-		w4, ok2 := call(nvmeof.MethodWrite, nvmeof.WriteArgs{LBA: 8, Data: make([]byte, 4096)}, 4160)
-		r64, ok3 := call(nvmeof.MethodRead, nvmeof.ReadArgs{LBA: 16, Blocks: 16}, 64)
+		caps := wire.NewPool(64)
+		r4, ok1 := call(nvmeof.MethodRead, nvmeof.EncodeReadArgs(caps, 0, 1), 64)
+		w4, ok2 := call(nvmeof.MethodWrite, nvmeof.EncodeWriteArgs(caps, 8, make([]byte, 4096)), 4160)
+		r64, ok3 := call(nvmeof.MethodRead, nvmeof.EncodeReadArgs(caps, 16, 16), 64)
 		tax := "-"
 		if ok1 && ok2 && ok3 {
 			tax = f2(float64(r4)/float64(local)) + "x"

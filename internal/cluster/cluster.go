@@ -19,6 +19,7 @@ import (
 	"hyperion/internal/storage/kvssd"
 	"hyperion/internal/telemetry"
 	"hyperion/internal/transport"
+	"hyperion/internal/wire"
 )
 
 // KV method names served by every DPU.
@@ -27,9 +28,29 @@ const (
 	MethodPut = "ckv.put"
 )
 
-// PutArgs carries a replicated write.
-type PutArgs struct {
-	Key, Value []byte
+// Wire capsules: a get capsule is the raw key; a put capsule is a
+// big-endian key length followed by key then value. Capsules are
+// pooled wire.Bufs refcounted per rpc attempt, so a router can issue
+// replicated writes and read failovers from one encoding.
+const (
+	putKeyLenOff = 0
+	putKeyOff    = 4
+)
+
+func encodePut(p *wire.Pool, key, value []byte) *wire.Buf {
+	b := p.Get(putKeyOff + len(key) + len(value))
+	bs := b.Bytes()
+	wire.PutBE32At(bs, putKeyLenOff, uint32(len(key)))
+	copy(bs[putKeyOff:], key)
+	copy(bs[putKeyOff+len(key):], value)
+	return b
+}
+
+// decodePut returns views that alias the capsule; they are valid only
+// while the capsule reference is held.
+func decodePut(bs []byte) (key, value []byte) {
+	klen := int(wire.BE32At(bs, putKeyLenOff))
+	return bs[putKeyOff : putKeyOff+klen], bs[putKeyOff+klen:]
 }
 
 // Errors.
@@ -89,13 +110,15 @@ func (c *Cluster) serve(n *Node) {
 		if n.down {
 			return // dead nodes do not answer; clients time out
 		}
-		key, ok := arg.([]byte)
+		b, ok := arg.(*wire.Buf)
 		if !ok {
 			respond(nil, 0, fmt.Errorf("cluster: bad get args %T", arg))
 			return
 		}
 		n.Gets++
-		val, found, err := n.KV.Get(key)
+		// The key aliases the capsule, which is valid for the handler's
+		// synchronous extent; KV.Get consumes it before returning.
+		val, found, err := n.KV.Get(b.Bytes())
 		d.View.Complete(c.Eng, "ckv.get", func() {
 			if err != nil {
 				respond(nil, 64, err)
@@ -112,13 +135,14 @@ func (c *Cluster) serve(n *Node) {
 		if n.down {
 			return
 		}
-		pa, ok := arg.(PutArgs)
-		if !ok {
+		b, ok := arg.(*wire.Buf)
+		if !ok || b.Len() < putKeyOff {
 			respond(nil, 0, fmt.Errorf("cluster: bad put args %T", arg))
 			return
 		}
+		key, value := decodePut(b.Bytes())
 		n.Puts++
-		err := n.KV.Put(pa.Key, pa.Value)
+		err := n.KV.Put(key, value)
 		d.View.Complete(c.Eng, "ckv.put", func() { respond(true, 64, err) })
 	})
 }
@@ -191,6 +215,10 @@ type Router struct {
 
 	rec *telemetry.Recorder
 
+	caps    *wire.Pool
+	putFree []*putCtx
+	getFree []*getCtx
+
 	Routed, Failovers int64
 }
 
@@ -212,72 +240,148 @@ func NewRouter(c *Cluster, name netsim.Addr) (*Router, error) {
 	}
 	cli := rpc.NewClient(c.Eng, transport.New(c.Eng, transport.RDMA, nic))
 	cli.Timeout = 2 * sim.Millisecond
-	return &Router{c: c, cli: cli, FailoverTimeout: 2 * sim.Millisecond}, nil
+	return &Router{c: c, cli: cli, FailoverTimeout: 2 * sim.Millisecond, caps: wire.NewPool(64)}, nil
+}
+
+// putCtx fans one replicated write out to every replica with a single
+// prebound completion callback; instances cycle through the router's
+// free list. It holds the capsule's base reference until every
+// replica's rpc call resolves, so retries and stragglers stay valid.
+type putCtx struct {
+	r        *Router
+	capsule  *wire.Buf
+	pending  int
+	firstErr error
+	span     telemetry.RequestID
+	start    sim.Time
+	cb       func(error)
+	doneFn   func(val any, err error)
+}
+
+func (r *Router) getPut() *putCtx {
+	if n := len(r.putFree); n > 0 {
+		p := r.putFree[n-1]
+		r.putFree = r.putFree[:n-1]
+		return p
+	}
+	p := &putCtx{r: r}
+	p.doneFn = p.done
+	return p
+}
+
+func (p *putCtx) done(_ any, err error) {
+	if err != nil && p.firstErr == nil {
+		p.firstErr = err
+	}
+	p.pending--
+	if p.pending > 0 {
+		return
+	}
+	r := p.r
+	if r.rec != nil {
+		r.rec.Span("cluster", "put", p.span, p.start, r.c.Eng.Now())
+	}
+	p.capsule.Release()
+	cb, firstErr := p.cb, p.firstErr
+	*p = putCtx{r: r, doneFn: p.doneFn}
+	r.putFree = append(r.putFree, p)
+	cb(firstErr)
 }
 
 // Put writes to every replica; cb fires when all acks (or any error)
 // arrive.
 func (r *Router) Put(key, value []byte, cb func(error)) {
-	set := r.c.ReplicaSet(key)
+	n := len(r.c.Nodes)
+	primary := shardOf(key, n)
 	r.Routed++
 	span := r.rec.NewRequest()
-	if r.rec != nil {
-		start := r.c.Eng.Now()
-		inner := cb
-		cb = func(err error) {
-			r.rec.Span("cluster", "put", span, start, r.c.Eng.Now())
-			inner(err)
-		}
+	p := r.getPut()
+	p.capsule = encodePut(r.caps, key, value)
+	p.pending = r.c.Replicas
+	p.span = span
+	p.start = r.c.Eng.Now()
+	p.cb = cb
+	bytes := len(key) + len(value) + 64
+	for j := 0; j < r.c.Replicas; j++ {
+		addr := r.c.Nodes[(primary+j)%n].DPU.ControlAddr()
+		r.cli.CallSpan(addr, MethodPut, p.capsule, bytes, span, p.doneFn)
 	}
-	pending := len(set)
-	var firstErr error
-	for _, idx := range set {
-		addr := r.c.Nodes[idx].DPU.ControlAddr()
-		r.cli.CallSpan(addr, MethodPut, PutArgs{Key: key, Value: value}, len(key)+len(value)+64, span, func(_ any, err error) {
-			if err != nil && firstErr == nil {
-				firstErr = err
-			}
-			pending--
-			if pending == 0 {
-				cb(firstErr)
-			}
-		})
+}
+
+// getCtx walks the replica set of one read with a prebound completion
+// callback, failing over on timeouts; instances cycle through the
+// router's free list.
+type getCtx struct {
+	r       *Router
+	capsule *wire.Buf
+	primary int
+	attempt int
+	bytes   int
+	span    telemetry.RequestID
+	start   sim.Time
+	cb      func([]byte, error)
+	doneFn  func(val any, err error)
+}
+
+func (r *Router) getGet() *getCtx {
+	if n := len(r.getFree); n > 0 {
+		g := r.getFree[n-1]
+		r.getFree = r.getFree[:n-1]
+		return g
 	}
+	g := &getCtx{r: r}
+	g.doneFn = g.done
+	return g
 }
 
 // Get reads from the primary, failing over to the next replica when a
 // node does not answer.
 func (r *Router) Get(key []byte, cb func(val []byte, err error)) {
-	set := r.c.ReplicaSet(key)
 	r.Routed++
 	span := r.rec.NewRequest()
-	if r.rec != nil {
-		start := r.c.Eng.Now()
-		inner := cb
-		cb = func(val []byte, err error) {
-			r.rec.Span("cluster", "get", span, start, r.c.Eng.Now())
-			inner(val, err)
-		}
-	}
-	r.tryGet(key, set, 0, span, cb)
+	g := r.getGet()
+	g.capsule = r.caps.Get(len(key))
+	copy(g.capsule.Bytes(), key)
+	g.primary = shardOf(key, len(r.c.Nodes))
+	g.bytes = len(key) + 64
+	g.span = span
+	g.start = r.c.Eng.Now()
+	g.cb = cb
+	g.try()
 }
 
-func (r *Router) tryGet(key []byte, set []int, attempt int, span telemetry.RequestID, cb func([]byte, error)) {
-	if attempt >= len(set) {
-		cb(nil, ErrNoReplicas)
+func (g *getCtx) try() {
+	r := g.r
+	if g.attempt >= r.c.Replicas {
+		g.resolve(nil, ErrNoReplicas)
 		return
 	}
-	addr := r.c.Nodes[set[attempt]].DPU.ControlAddr()
-	r.cli.CallSpan(addr, MethodGet, key, len(key)+64, span, func(val any, err error) {
-		if errors.Is(err, rpc.ErrTimeout) {
-			r.Failovers++
-			r.tryGet(key, set, attempt+1, span, cb)
-			return
-		}
-		if err != nil {
-			cb(nil, err)
-			return
-		}
-		cb(val.([]byte), nil)
-	})
+	addr := r.c.Nodes[(g.primary+g.attempt)%len(r.c.Nodes)].DPU.ControlAddr()
+	r.cli.CallSpan(addr, MethodGet, g.capsule, g.bytes, g.span, g.doneFn)
+}
+
+func (g *getCtx) done(val any, err error) {
+	if errors.Is(err, rpc.ErrTimeout) {
+		g.r.Failovers++
+		g.attempt++
+		g.try()
+		return
+	}
+	if err != nil {
+		g.resolve(nil, err)
+		return
+	}
+	g.resolve(val.([]byte), nil)
+}
+
+func (g *getCtx) resolve(val []byte, err error) {
+	r := g.r
+	if r.rec != nil {
+		r.rec.Span("cluster", "get", g.span, g.start, r.c.Eng.Now())
+	}
+	g.capsule.Release()
+	cb := g.cb
+	*g = getCtx{r: r, doneFn: g.doneFn}
+	r.getFree = append(r.getFree, g)
+	cb(val, err)
 }

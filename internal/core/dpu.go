@@ -83,6 +83,7 @@ type DPU struct {
 	arbiter  *fabric.Arbiter
 	handlers map[uint16]func(netsim.Frame)
 	rec      *telemetry.Recorder
+	fig2Free []*fig2Ctx
 
 	Counters sim.CounterSet
 }

@@ -5,6 +5,7 @@ import (
 
 	"hyperion/internal/fabric"
 	"hyperion/internal/sim"
+	"hyperion/internal/telemetry"
 )
 
 // Fig2Trace times each stage of the Figure 2 datapath for one request:
@@ -32,6 +33,121 @@ func ProbeBitstream(authTag string) *fabric.Bitstream {
 	}
 }
 
+// probePayload is the static frame content every probe carries,
+// pre-boxed so pushing it never allocates.
+var probePayload any = []byte("probe")
+
+// fig2Ctx carries one probe through the four-stage pipeline with
+// prebound stage callbacks and its own reusable ingress stream (an
+// idle AXIS stream is indistinguishable from a fresh one); instances
+// cycle through the DPU's free list.
+type fig2Ctx struct {
+	d      *DPU
+	stream *fabric.Stream
+	rec    *telemetry.Recorder // recorder the stream was last armed with
+
+	slot, ssd int
+	lba       int64
+	blocks    int
+	reply     func(tr Fig2Trace, data []byte, err error)
+
+	span           telemetry.RequestID
+	t0, t1, t2, t3 sim.Time
+	tr             Fig2Trace
+	data           []byte
+
+	sinkFn   func(fabric.Item)
+	pipeFn   func(out any)
+	readFn   func(data []byte, st uint16)
+	egressFn func()
+}
+
+func (d *DPU) getFig2() *fig2Ctx {
+	if n := len(d.fig2Free); n > 0 {
+		c := d.fig2Free[n-1]
+		d.fig2Free = d.fig2Free[:n-1]
+		return c
+	}
+	c := &fig2Ctx{d: d}
+	// Stage 1 plumbing: DEMUX + AXIS arbiter, modeled by an AXIS stream
+	// with the fabric's clock and bus width carrying the frame into the
+	// slot.
+	c.stream = fabric.NewStream(d.Eng, "fig2.probe", d.Cfg.Fabric.ClockHz, 64, 8)
+	c.sinkFn = c.onArrive
+	c.pipeFn = c.onPipeline
+	c.readFn = c.onRead
+	c.egressFn = c.onEgress
+	c.stream.Connect(c.sinkFn)
+	return c
+}
+
+func (c *fig2Ctx) fail(err error) {
+	d, reply, tr := c.d, c.reply, c.tr
+	c.reply = nil
+	c.data = nil
+	d.fig2Free = append(d.fig2Free, c)
+	reply(tr, nil, err)
+}
+
+// onArrive is stage 1 complete: the frame crossed the arbiter.
+func (c *fig2Ctx) onArrive(it fabric.Item) {
+	d := c.d
+	c.t1 = d.Eng.Now()
+	c.tr.Arbiter = c.t1.Sub(c.t0)
+	if d.rec != nil {
+		d.rec.Span("fig2", "arbiter", c.span, c.t0, c.t1)
+	}
+	// Stage 2: accelerator pipeline.
+	if serr := d.Fabric.SubmitSpan(c.slot, it.Payload, c.span, c.pipeFn); serr != nil {
+		c.fail(serr)
+	}
+}
+
+func (c *fig2Ctx) onPipeline(out any) {
+	d := c.d
+	c.t2 = d.Eng.Now()
+	c.tr.Pipeline = c.t2.Sub(c.t1)
+	if d.rec != nil {
+		d.rec.Span("fig2", "pipeline", c.span, c.t1, c.t2)
+	}
+	// Stage 3: NVMe host IP core → PCIe bridge → flash.
+	if rerr := d.Hosts[c.ssd].ReadSpan(0, c.lba, c.blocks, c.span, c.readFn); rerr != nil {
+		c.fail(rerr)
+	}
+}
+
+func (c *fig2Ctx) onRead(data []byte, st uint16) {
+	d := c.d
+	c.t3 = d.Eng.Now()
+	c.tr.Storage = c.t3.Sub(c.t2)
+	if d.rec != nil {
+		d.rec.Span("fig2", "storage", c.span, c.t2, c.t3)
+	}
+	c.data = data
+	// Stage 4: response egress serialization on QSFP.
+	respBytes := len(data) + 64
+	egress := sim.Duration(float64(respBytes) / 12.5e9 * float64(sim.Second))
+	d.Eng.After(egress, "fig2.egress", c.egressFn)
+}
+
+func (c *fig2Ctx) onEgress() {
+	d := c.d
+	t4 := d.Eng.Now()
+	c.tr.Egress = t4.Sub(c.t3)
+	c.tr.Total = t4.Sub(c.t0)
+	if d.rec != nil {
+		// No "total" span: the per-request critical path derives
+		// end-to-end time from the stage spans, and a covering span
+		// would trivially dominate it.
+		d.rec.Span("fig2", "egress", c.span, c.t3, t4)
+	}
+	reply, tr, data := c.reply, c.tr, c.data
+	c.reply = nil
+	c.data = nil
+	d.fig2Free = append(d.fig2Free, c)
+	reply(tr, data, nil)
+}
+
 // Fig2Probe drives one end-to-end request through the full hardware
 // path: a frame-sized item crosses the arbiter into the slot, the
 // pipeline processes it, the NVMe host IP core reads blocks from the
@@ -44,61 +160,22 @@ func (d *DPU) Fig2Probe(slot int, ssd int, lba int64, blocks int, reply func(tr 
 	if ssd < 0 || ssd >= len(d.Hosts) {
 		return fmt.Errorf("core: no ssd %d", ssd)
 	}
-	t0 := d.Eng.Now()
-	var tr Fig2Trace
-	fail := func(err error) { reply(tr, nil, err) }
-
+	c := d.getFig2()
+	c.slot, c.ssd, c.lba, c.blocks = slot, ssd, lba, blocks
+	c.reply = reply
+	c.t0 = d.Eng.Now()
+	c.tr = Fig2Trace{}
 	// One trace context joins every stage of this probe (0 disarmed).
-	span := d.rec.NewRequest()
-
-	// Stage 1: DEMUX + AXIS arbiter, modeled by an AXIS stream with the
-	// fabric's clock and bus width carrying the frame into the slot.
+	c.span = d.rec.NewRequest()
+	if c.rec != d.rec {
+		c.stream.SetRecorder(d.rec)
+		c.rec = d.rec
+	}
 	const frameBytes = 256
-	probe := fabric.NewStream(d.Eng, "fig2.probe", d.Cfg.Fabric.ClockHz, 64, 8)
-	probe.SetRecorder(d.rec)
-	probe.Connect(func(it fabric.Item) {
-		t1 := d.Eng.Now()
-		tr.Arbiter = t1.Sub(t0)
-		if d.rec != nil {
-			d.rec.Span("fig2", "arbiter", span, t0, t1)
-		}
-		// Stage 2: accelerator pipeline.
-		serr := d.Fabric.SubmitSpan(slot, it.Payload, span, func(out any) {
-			t2 := d.Eng.Now()
-			tr.Pipeline = t2.Sub(t1)
-			if d.rec != nil {
-				d.rec.Span("fig2", "pipeline", span, t1, t2)
-			}
-			// Stage 3: NVMe host IP core → PCIe bridge → flash.
-			rerr := d.Hosts[ssd].ReadSpan(0, lba, blocks, span, func(data []byte, st uint16) {
-				t3 := d.Eng.Now()
-				tr.Storage = t3.Sub(t2)
-				if d.rec != nil {
-					d.rec.Span("fig2", "storage", span, t2, t3)
-				}
-				// Stage 4: response egress serialization on QSFP.
-				respBytes := len(data) + 64
-				egress := sim.Duration(float64(respBytes) / 12.5e9 * float64(sim.Second))
-				d.Eng.After(egress, "fig2.egress", func() {
-					t4 := d.Eng.Now()
-					tr.Egress = t4.Sub(t3)
-					tr.Total = t4.Sub(t0)
-					if d.rec != nil {
-						// No "total" span: the per-request critical path
-						// derives end-to-end time from the stage spans, and
-						// a covering span would trivially dominate it.
-						d.rec.Span("fig2", "egress", span, t3, t4)
-					}
-					reply(tr, data, nil)
-				})
-			})
-			if rerr != nil {
-				fail(rerr)
-			}
-		})
-		if serr != nil {
-			fail(serr)
-		}
-	})
-	return probe.Push(fabric.Item{Bytes: frameBytes, Payload: []byte("probe"), Span: span})
+	err := c.stream.Push(fabric.Item{Bytes: frameBytes, Payload: probePayload, Span: c.span})
+	if err != nil {
+		c.reply = nil
+		d.fig2Free = append(d.fig2Free, c)
+	}
+	return err
 }

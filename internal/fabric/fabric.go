@@ -148,6 +148,8 @@ type Slot struct {
 	LoadedAt  sim.Time
 	busyUntil sim.Time // pipeline issue: next cycle an item may enter
 
+	completeName string // precomputed completion event name for Image
+
 	in  *Stream
 	out *Stream
 
@@ -165,6 +167,7 @@ type Fabric struct {
 
 	rec       *telemetry.Recorder
 	slotNames []string // armed only: precomputed per-slot span names
+	subFree   []*submitCtx
 
 	Counters sim.CounterSet
 }
@@ -257,6 +260,7 @@ func (f *Fabric) LoadBitstream(i int, b *Bitstream, done func()) error {
 	f.free = rem
 	old := slot.Image
 	slot.Image = b
+	slot.completeName = "fabric.complete:" + b.Name
 	slot.State = SlotReconfiguring
 	_ = old
 	f.Counters.Get("reconfigs").Add(1)
@@ -329,17 +333,55 @@ func (f *Fabric) SubmitSpan(i int, item any, req telemetry.RequestID, result fun
 	slot.Items++
 	slot.Cycles += int64(slot.Image.II)
 	complete := issue.Add(f.Cycles(int64(slot.Image.Depth)))
-	img := slot.Image
-	f.eng.At(complete, "fabric.complete:"+img.Name, func() {
-		out := img.Process(item)
-		if f.rec != nil {
-			f.rec.Span("fabric", f.slotNames[i], req, issue, f.eng.Now())
-		}
-		if result != nil {
-			result(out)
-		}
-	})
+	sc := f.getSubmit()
+	sc.img = slot.Image
+	sc.i = i
+	sc.item = item
+	sc.req = req
+	sc.issue = issue
+	sc.result = result
+	f.eng.At(complete, slot.completeName, sc.fireFn)
 	return nil
+}
+
+// submitCtx carries one in-flight pipeline item to its completion
+// event with a prebound fire function; instances cycle through the
+// fabric's free list. The image is pinned per item, so a slot
+// reconfigured mid-flight still completes with the old Process.
+type submitCtx struct {
+	f      *Fabric
+	img    *Bitstream
+	i      int
+	item   any
+	req    telemetry.RequestID
+	issue  sim.Time
+	result func(out any)
+	fireFn func()
+}
+
+func (f *Fabric) getSubmit() *submitCtx {
+	if n := len(f.subFree); n > 0 {
+		sc := f.subFree[n-1]
+		f.subFree = f.subFree[:n-1]
+		return sc
+	}
+	sc := &submitCtx{f: f}
+	sc.fireFn = sc.fire
+	return sc
+}
+
+func (sc *submitCtx) fire() {
+	f := sc.f
+	out := sc.img.Process(sc.item)
+	if f.rec != nil {
+		f.rec.Span("fabric", f.slotNames[sc.i], sc.req, sc.issue, f.eng.Now())
+	}
+	result := sc.result
+	sc.img, sc.item, sc.result = nil, nil, nil
+	f.subFree = append(f.subFree, sc)
+	if result != nil {
+		result(out)
+	}
 }
 
 // Utilization returns the fraction of cycles slot i spent busy since its

@@ -31,10 +31,15 @@ type Stream struct {
 	WidthBytes int // bus width per beat, e.g. 64 for 512-bit AXIS
 	DepthItems int // FIFO capacity in items
 
-	eng        *sim.Engine
-	period     sim.Duration // one beat
-	sink       func(Item)
+	eng      *sim.Engine
+	period   sim.Duration // one beat
+	sink     func(Item)
+	beatName string // precomputed event name
+	beatFn   func() // prebound deliver, reads the queue head at fire time
+	// queue is a head-indexed FIFO: pops advance head, the backing
+	// array recycles once drained, so steady traffic stops allocating.
 	queue      []Item
+	head       int
 	busy       bool
 	plan       *fault.Plan
 	rec        *telemetry.Recorder
@@ -51,13 +56,16 @@ func NewStream(eng *sim.Engine, name string, clockHz int64, widthBytes, depthIte
 	if widthBytes <= 0 || depthItems <= 0 || clockHz <= 0 {
 		panic("fabric: invalid stream parameters")
 	}
-	return &Stream{
+	s := &Stream{
 		Name:       name,
 		WidthBytes: widthBytes,
 		DepthItems: depthItems,
 		eng:        eng,
 		period:     sim.Duration(int64(sim.Second) / clockHz),
+		beatName:   "stream:" + name,
 	}
+	s.beatFn = s.deliver
+	return s
 }
 
 // Connect sets the downstream sink. It must be called before Push.
@@ -81,7 +89,7 @@ func (s *Stream) SetRecorder(rec *telemetry.Recorder) {
 }
 
 // Len returns the current FIFO occupancy.
-func (s *Stream) Len() int { return len(s.queue) }
+func (s *Stream) Len() int { return len(s.queue) - s.head }
 
 // Push enqueues an item, or returns ErrStreamFull under backpressure.
 func (s *Stream) Push(it Item) error {
@@ -91,7 +99,7 @@ func (s *Stream) Push(it Item) error {
 	if it.Bytes <= 0 {
 		it.Bytes = 1
 	}
-	if len(s.queue) >= s.DepthItems {
+	if s.Len() >= s.DepthItems {
 		s.Dropped++
 		return ErrStreamFull
 	}
@@ -108,38 +116,49 @@ func (s *Stream) Push(it Item) error {
 	return nil
 }
 
+// deliverNext schedules the bus occupancy of the queue head. The beat
+// event carries no closure state: only deliver pops, so the head it
+// reads at fire time is the item whose beats were just charged.
 func (s *Stream) deliverNext() {
-	if len(s.queue) == 0 {
+	if s.Len() == 0 {
 		s.busy = false
+		if s.head > 0 {
+			s.queue = s.queue[:0]
+			s.head = 0
+		}
 		return
 	}
-	it := s.queue[0]
+	it := s.queue[s.head]
 	beats := (it.Bytes + s.WidthBytes - 1) / s.WidthBytes
 	if beats < 1 {
 		beats = 1
 	}
-	s.eng.After(sim.Duration(beats)*s.period, "stream:"+s.Name, func() {
-		s.queue = s.queue[1:]
-		// The enqueue-time shadow queue exists only while armed; if the
-		// recorder was installed mid-flight it may briefly run short.
-		t0 := s.eng.Now()
-		if s.rec != nil && len(s.pushAt) > 0 {
-			t0 = s.pushAt[0]
-			s.pushAt = s.pushAt[1:]
+	s.eng.After(sim.Duration(beats)*s.period, s.beatName, s.beatFn)
+}
+
+func (s *Stream) deliver() {
+	it := s.queue[s.head]
+	s.queue[s.head] = Item{}
+	s.head++
+	// The enqueue-time shadow queue exists only while armed; if the
+	// recorder was installed mid-flight it may briefly run short.
+	t0 := s.eng.Now()
+	if s.rec != nil && len(s.pushAt) > 0 {
+		t0 = s.pushAt[0]
+		s.pushAt = s.pushAt[1:]
+	}
+	if s.plan.Roll(fault.Drop) {
+		s.FaultDrops++
+		if s.rec != nil {
+			s.rec.Count("stream", s.dropName, 1)
 		}
-		if s.plan.Roll(fault.Drop) {
-			s.FaultDrops++
-			if s.rec != nil {
-				s.rec.Count("stream", s.dropName, 1)
-			}
-		} else {
-			if s.rec != nil {
-				s.rec.Span("stream", s.Name, it.Span, t0, s.eng.Now())
-			}
-			s.sink(it)
+	} else {
+		if s.rec != nil {
+			s.rec.Span("stream", s.Name, it.Span, t0, s.eng.Now())
 		}
-		s.deliverNext()
-	})
+		s.sink(it)
+	}
+	s.deliverNext()
 }
 
 // Arbiter merges N input streams onto one output in round-robin order —

@@ -11,6 +11,7 @@ import (
 	"hyperion/internal/fault"
 	"hyperion/internal/sim"
 	"hyperion/internal/telemetry"
+	"hyperion/internal/wire"
 )
 
 // Addr identifies a NIC on the network.
@@ -19,9 +20,19 @@ type Addr string
 // Frame is one Ethernet-level unit. Span carries the request-scoped
 // trace context across the wire (0 = untagged); it rides beside the
 // payload exactly like a tag in a real frame's metadata.
+//
+// Buf, when non-nil, is the frame's wire bytes (header and inline
+// payload) in a pooled buffer. Ownership: a successful Send transfers
+// one reference to the network, which releases it when the frame is
+// dropped, discarded as corrupt, or after the receiver's handler
+// returns — a receiver that keeps the bytes must Retain. On a Send
+// error the caller keeps its reference. Payload remains for
+// by-reference payloads (transports put the application object of the
+// last fragment here).
 type Frame struct {
 	Src, Dst Addr
 	Payload  any
+	Buf      *wire.Buf
 	Bytes    int
 	Span     telemetry.RequestID
 }
@@ -65,6 +76,10 @@ type NIC struct {
 	net  *Network
 	recv func(Frame)
 
+	// Event names are per-NIC constants; precomputing them keeps the
+	// per-frame path free of string concatenation.
+	upName, downName string
+
 	txBusy             sim.Time // serialization horizon of the host→switch link
 	TxFrames, RxFrames int64
 	TxBytes, RxBytes   int64
@@ -100,10 +115,75 @@ func (n *NIC) Send(f Frame) error {
 	ser := n.net.serTime(f.Bytes)
 	n.txBusy = start.Add(ser)
 	arriveAtSwitch := n.txBusy.Add(n.net.cfg.PropDelay)
-	eng.At(arriveAtSwitch, "net.uplink:"+string(n.Addr), func() {
-		n.net.switchForward(f, dst)
-	})
+	fe := n.net.getFrameEvent()
+	fe.f = f
+	fe.dst = dst
+	eng.At(arriveAtSwitch, n.upName, fe.upFn)
 	return nil
+}
+
+// frameEvent carries one in-flight frame through its two scheduled
+// legs (uplink → switch, switch → downlink) without a fresh closure
+// per leg; instances cycle through the network's free list.
+type frameEvent struct {
+	net     *Network
+	f       Frame
+	dst     *NIC
+	arrive  sim.Time
+	corrupt bool
+	upFn    func() // prebound fe.uplink
+	downFn  func() // prebound fe.deliver
+}
+
+func (fe *frameEvent) uplink() { fe.net.switchForward(fe) }
+
+func (fe *frameEvent) deliver() {
+	n, f, dst := fe.net, fe.f, fe.dst
+	n.outQueue[f.Dst]--
+	if fe.corrupt {
+		// The frame arrived but failed the NIC's FCS check: count
+		// and discard without surfacing it to the stack.
+		dst.RxCorrupt++
+		if n.rec != nil {
+			n.rec.Count("net", "rx_corrupt", 1)
+		}
+		if f.Buf != nil {
+			f.Buf.Release()
+		}
+		n.putFrameEvent(fe)
+		return
+	}
+	dst.RxFrames++
+	dst.RxBytes += int64(f.Bytes)
+	if n.rec != nil {
+		n.rec.Span("net", "frame", f.Span, fe.arrive, n.eng.Now())
+	}
+	n.putFrameEvent(fe)
+	if dst.recv != nil {
+		dst.recv(f)
+	}
+	if f.Buf != nil {
+		f.Buf.Release()
+	}
+}
+
+func (n *Network) getFrameEvent() *frameEvent {
+	if len(n.feFree) == 0 {
+		fe := &frameEvent{net: n}
+		fe.upFn = fe.uplink
+		fe.downFn = fe.deliver
+		return fe
+	}
+	fe := n.feFree[len(n.feFree)-1]
+	n.feFree = n.feFree[:len(n.feFree)-1]
+	return fe
+}
+
+func (n *Network) putFrameEvent(fe *frameEvent) {
+	fe.f = Frame{}
+	fe.dst = nil
+	fe.corrupt = false
+	n.feFree = append(n.feFree, fe)
 }
 
 // Network is the fabric: a single switch with one full-duplex link per
@@ -115,6 +195,8 @@ type Network struct {
 	// Per-destination output port state.
 	outBusy  map[Addr]sim.Time
 	outQueue map[Addr]int
+
+	feFree []*frameEvent // frame-event free list
 
 	plan *fault.Plan
 	rec  *telemetry.Recorder
@@ -168,7 +250,12 @@ func (n *Network) Attach(addr Addr) (*NIC, error) {
 	if _, ok := n.nics[addr]; ok {
 		return nil, fmt.Errorf("%w: %s", ErrDupAddr, addr)
 	}
-	nic := &NIC{Addr: addr, net: n}
+	nic := &NIC{
+		Addr:     addr,
+		net:      n,
+		upName:   "net.uplink:" + string(addr),
+		downName: "net.downlink:" + string(addr),
+	}
 	n.nics[addr] = nic
 	return nic, nil
 }
@@ -190,12 +277,14 @@ func (n *Network) serTime(b int) sim.Duration {
 // switchForward queues the frame on the destination's output port.
 // Fault rolls happen here, in arrival order, so an installed plan's
 // injections replay identically for a given seed.
-func (n *Network) switchForward(f Frame, dst *NIC) {
+func (n *Network) switchForward(fe *frameEvent) {
+	f := fe.f
 	if n.plan.Roll(fault.Drop) {
 		n.FaultDrops++
 		if n.rec != nil {
 			n.rec.Count("net", "fault_drops", 1)
 		}
+		n.dropFrame(fe)
 		return
 	}
 	if n.outQueue[f.Dst] >= n.cfg.QueueFrames {
@@ -203,9 +292,10 @@ func (n *Network) switchForward(f Frame, dst *NIC) {
 		if n.rec != nil {
 			n.rec.Count("net", "queue_drops", 1)
 		}
+		n.dropFrame(fe)
 		return
 	}
-	arrive := n.eng.Now()
+	fe.arrive = n.eng.Now()
 	n.outQueue[f.Dst]++
 	// Forwarding latency is pipelined: it delays when a frame may start
 	// on the output port but does not consume port bandwidth.
@@ -217,8 +307,8 @@ func (n *Network) switchForward(f Frame, dst *NIC) {
 	ser := n.serTime(f.Bytes)
 	n.outBusy[f.Dst] = start.Add(ser)
 	deliver := n.outBusy[f.Dst].Add(n.cfg.PropDelay)
-	corrupt := n.plan.Roll(fault.Corrupt)
-	if corrupt {
+	fe.corrupt = n.plan.Roll(fault.Corrupt)
+	if fe.corrupt {
 		n.FaultCorrupts++
 	}
 	if n.plan.Roll(fault.Reorder) {
@@ -228,26 +318,16 @@ func (n *Network) switchForward(f Frame, dst *NIC) {
 		deliver = deliver.Add(n.plan.Delay(reorderSlipLo, reorderSlipHi))
 	}
 	n.Forwards++
-	n.eng.At(deliver, "net.downlink:"+string(f.Dst), func() {
-		n.outQueue[f.Dst]--
-		if corrupt {
-			// The frame arrived but failed the NIC's FCS check: count
-			// and discard without surfacing it to the stack.
-			dst.RxCorrupt++
-			if n.rec != nil {
-				n.rec.Count("net", "rx_corrupt", 1)
-			}
-			return
-		}
-		dst.RxFrames++
-		dst.RxBytes += int64(f.Bytes)
-		if n.rec != nil {
-			n.rec.Span("net", "frame", f.Span, arrive, n.eng.Now())
-		}
-		if dst.recv != nil {
-			dst.recv(f)
-		}
-	})
+	n.eng.At(deliver, fe.dst.downName, fe.downFn)
+}
+
+// dropFrame retires a frame that never reaches its receiver, releasing
+// the network's reference on its wire buffer.
+func (n *Network) dropFrame(fe *frameEvent) {
+	if fe.f.Buf != nil {
+		fe.f.Buf.Release()
+	}
+	n.putFrameEvent(fe)
 }
 
 // BaseRTT returns the minimum round trip for a small frame: twice

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"hyperion/internal/sim"
+	"hyperion/internal/wire"
 )
 
 func pair(t testing.TB) (*sim.Engine, *Network, *NIC, *NIC) {
@@ -78,11 +79,21 @@ func TestLatencyShape(t *testing.T) {
 }
 
 func TestSerializationOrdering(t *testing.T) {
+	// Payloads ride as *wire.Buf — the representation the real datapath
+	// uses — so ordering is checked on the zero-copy path, and the
+	// per-frame Release exercises pool recycling under load.
 	eng, _, a, b := pair(t)
+	pool := wire.NewPool(8)
 	var got []int
-	b.OnReceive(func(f Frame) { got = append(got, f.Payload.(int)) })
+	b.OnReceive(func(f Frame) {
+		buf := f.Payload.(*wire.Buf)
+		got = append(got, int(wire.LE32At(buf.Bytes(), 0)))
+		buf.Release()
+	})
 	for i := 0; i < 50; i++ {
-		_ = a.Send(Frame{Dst: "b", Payload: i, Bytes: 1500})
+		buf := pool.Get(4)
+		wire.PutLE32At(buf.Bytes(), 0, uint32(i))
+		_ = a.Send(Frame{Dst: "b", Payload: buf, Bytes: 1500})
 	}
 	eng.Run()
 	if len(got) != 50 {

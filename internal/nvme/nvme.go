@@ -138,6 +138,9 @@ type Device struct {
 	plan *fault.Plan
 	rec  *telemetry.Recorder
 
+	evName  string // precomputed event name for all device-side events
+	ctxFree []*cmdCtx
+
 	Counters sim.CounterSet
 }
 
@@ -162,12 +165,18 @@ func (d *Device) InjectFaults(prob float64, seed uint64) {
 // The functional Sync path is never affected.
 func (d *Device) SetFaultPlan(p *fault.Plan) { d.plan = p }
 
+// queuePair holds the submission queue as a head-indexed FIFO: pushes
+// append, pops advance head, and the backing array recycles once
+// drained, so steady submission stops allocating.
 type queuePair struct {
 	id       int
 	pending  []Command
+	head     int
 	inFlight int
 	depth    int
 }
+
+func (qp *queuePair) queued() int { return len(qp.pending) - qp.head }
 
 // New creates a device.
 func New(eng *sim.Engine, cfg Config) *Device {
@@ -179,6 +188,7 @@ func New(eng *sim.Engine, cfg Config) *Device {
 		eng:      eng,
 		channels: make([]sim.Time, cfg.Channels),
 		store:    make(map[int64][]byte),
+		evName:   "nvme:" + cfg.Name,
 	}
 	for i := 0; i < cfg.MaxQueuePairs; i++ {
 		d.queues = append(d.queues, &queuePair{id: i, depth: cfg.QueueDepth})
@@ -210,7 +220,7 @@ func (d *Device) MMIORead(off int64) uint64 {
 	if q < 0 || q >= len(d.queues) {
 		return ^uint64(0)
 	}
-	return uint64(len(d.queues[q].pending) + d.queues[q].inFlight)
+	return uint64(d.queues[q].queued() + d.queues[q].inFlight)
 }
 
 // MMIOWrite implements pcie.Device: a doorbell write makes the device
@@ -231,7 +241,7 @@ func (d *Device) Enqueue(q int, cmd Command) error {
 		return ErrBadQueue
 	}
 	qp := d.queues[q]
-	if len(qp.pending)+qp.inFlight >= qp.depth {
+	if qp.queued()+qp.inFlight >= qp.depth {
 		return ErrQueueFull
 	}
 	if cmd.Opcode == OpWrite && len(cmd.Data) != cmd.Blocks*d.cfg.BlockSize {
@@ -243,31 +253,99 @@ func (d *Device) Enqueue(q int, cmd Command) error {
 
 // pump starts execution of all pending commands on a queue.
 func (d *Device) pump(qp *queuePair) {
-	for len(qp.pending) > 0 {
-		cmd := qp.pending[0]
-		qp.pending = qp.pending[1:]
+	for qp.queued() > 0 {
+		cmd := qp.pending[qp.head]
+		qp.pending[qp.head] = Command{}
+		qp.head++
+		if qp.queued() == 0 {
+			qp.pending = qp.pending[:0]
+			qp.head = 0
+		}
 		qp.inFlight++
 		d.execute(qp, cmd)
 	}
 }
 
+// cmdCtx carries one in-flight command through its event chain with
+// prebound stage functions; instances cycle through the device's free
+// list. Each command takes exactly one path, so status and data set at
+// schedule time are what completeFn posts.
+type cmdCtx struct {
+	d      *Device
+	qp     *queuePair
+	cmd    Command
+	start  sim.Time
+	status uint16
+	data   []byte
+
+	wscratch []byte // reusable write-payload copy, capacity kept
+
+	completeFn  func() // post ctx.status/ctx.data
+	readDoneFn  func() // flash read done: fetch store, start data DMA
+	writeXferFn func() // write payload crossed the link: program it
+	writeDoneFn func() // write cache-accept: complete
+	swallowFn   func() // injected firmware hang: free the slot silently
+}
+
+func (d *Device) getCtx(qp *queuePair, cmd Command) *cmdCtx {
+	var c *cmdCtx
+	if n := len(d.ctxFree); n > 0 {
+		c = d.ctxFree[n-1]
+		d.ctxFree = d.ctxFree[:n-1]
+	} else {
+		c = &cmdCtx{d: d}
+		c.completeFn = c.complete
+		c.readDoneFn = c.readDone
+		c.writeXferFn = c.writeXfer
+		c.writeDoneFn = c.writeDone
+		c.swallowFn = c.swallow
+	}
+	c.qp = qp
+	c.cmd = cmd
+	c.start = d.eng.Now()
+	return c
+}
+
+// complete posts the completion interrupt and recycles the context.
+func (c *cmdCtx) complete() {
+	d := c.d
+	c.qp.inFlight--
+	cpl := Completion{CID: c.cmd.CID, Status: c.status, Data: c.data}
+	d.Counters.Get("completions").Add(1)
+	if d.rec != nil {
+		d.rec.Span("nvme.dev", opName(c.cmd.Opcode), c.cmd.Span, c.start, d.eng.Now())
+	}
+	qid := c.qp.id
+	c.data = nil
+	c.cmd = Command{}
+	c.qp = nil
+	d.ctxFree = append(d.ctxFree, c)
+	if d.interrupt != nil {
+		d.interrupt(qid, cpl)
+	}
+}
+
+func (c *cmdCtx) swallow() {
+	d := c.d
+	c.qp.inFlight--
+	c.cmd = Command{}
+	c.qp = nil
+	d.ctxFree = append(d.ctxFree, c)
+}
+
+// fail schedules a completion with the given status after delay.
+func (c *cmdCtx) fail(status uint16, delay sim.Duration) {
+	c.status = status
+	c.data = nil
+	c.d.after(delay, c.completeFn)
+}
+
 // execute models one command: SQE fetch DMA, flash access on the LBA's
 // channel, data DMA, CQE post, interrupt.
 func (d *Device) execute(qp *queuePair, cmd Command) {
-	start := d.eng.Now()
-	complete := func(status uint16, data []byte) {
-		qp.inFlight--
-		c := Completion{CID: cmd.CID, Status: status, Data: data}
-		d.Counters.Get("completions").Add(1)
-		if d.rec != nil {
-			d.rec.Span("nvme.dev", opName(cmd.Opcode), cmd.Span, start, d.eng.Now())
-		}
-		if d.interrupt != nil {
-			d.interrupt(qp.id, c)
-		}
-	}
+	c := d.getCtx(qp, cmd)
 	if cmd.NSID != 1 {
-		d.after(d.cfg.CtrlOverhead, func() { complete(StatusInvalidNS, nil) })
+		c.fail(StatusInvalidNS, d.cfg.CtrlOverhead)
 		return
 	}
 	switch cmd.Opcode {
@@ -284,16 +362,17 @@ func (d *Device) execute(qp *queuePair, cmd Command) {
 		if wait < 0 {
 			wait = 0
 		}
-		d.after(d.cfg.CtrlOverhead+wait, func() { complete(StatusOK, nil) })
+		c.status, c.data = StatusOK, nil
+		d.after(d.cfg.CtrlOverhead+wait, c.completeFn)
 		d.Counters.Get("flushes").Add(1)
 	case OpRead, OpWrite:
 		if cmd.LBA < 0 || cmd.Blocks <= 0 || cmd.LBA+int64(cmd.Blocks) > d.cfg.Blocks {
-			d.after(d.cfg.CtrlOverhead, func() { complete(StatusLBARange, nil) })
+			c.fail(StatusLBARange, d.cfg.CtrlOverhead)
 			return
 		}
 		if d.failProb > 0 && d.failRand.Float64() < d.failProb {
 			d.Counters.Get("injected_faults").Add(1)
-			d.after(d.cfg.CtrlOverhead+d.cfg.ReadLatency, func() { complete(StatusInternal, nil) })
+			c.fail(StatusInternal, d.cfg.CtrlOverhead+d.cfg.ReadLatency)
 			return
 		}
 		if d.plan.Roll(fault.Timeout) {
@@ -301,21 +380,22 @@ func (d *Device) execute(qp *queuePair, cmd Command) {
 			// the controller abandons it — but no completion is ever
 			// posted. Only a host-side deadline surfaces it.
 			d.Counters.Get("injected_timeouts").Add(1)
-			d.after(d.cfg.CtrlOverhead, func() { qp.inFlight-- })
+			d.after(d.cfg.CtrlOverhead, c.swallowFn)
 			return
 		}
 		if d.plan.Roll(fault.MediaErr) {
 			d.Counters.Get("injected_media_errors").Add(1)
-			d.after(d.cfg.CtrlOverhead+d.cfg.ReadLatency, func() { complete(StatusInternal, nil) })
+			c.fail(StatusInternal, d.cfg.CtrlOverhead+d.cfg.ReadLatency)
 			return
 		}
-		d.accessFlash(cmd, complete)
+		d.accessFlash(c)
 	default:
-		d.after(d.cfg.CtrlOverhead, func() { complete(StatusInvalidOp, nil) })
+		c.fail(StatusInvalidOp, d.cfg.CtrlOverhead)
 	}
 }
 
-func (d *Device) accessFlash(cmd Command, complete func(uint16, []byte)) {
+func (d *Device) accessFlash(c *cmdCtx) {
+	cmd := &c.cmd
 	isRead := cmd.Opcode == OpRead
 	// Each block lands on channel lba%Channels; the command finishes when
 	// its slowest block does. Channels serialize their own operations.
@@ -338,32 +418,46 @@ func (d *Device) accessFlash(cmd Command, complete func(uint16, []byte)) {
 		}
 	}
 	flashDone := d.cfg.CtrlOverhead + latest.Sub(now)
-	size := int64(cmd.Blocks) * int64(d.cfg.BlockSize)
 	if isRead {
 		d.Counters.Get("read_blocks").Add(int64(cmd.Blocks))
-		d.after(flashDone, func() {
-			data := d.readStore(cmd.LBA, cmd.Blocks)
-			if d.plan.Roll(fault.Corrupt) && len(data) > 0 {
-				// Transient in-flight corruption: the returned copy is
-				// damaged, the store is not, so a checksum-driven reread
-				// observes clean data.
-				d.Counters.Get("injected_corruptions").Add(1)
-				data[d.plan.Pick(len(data))] ^= 0xA5
-			}
-			d.transfer(size, func() { complete(StatusOK, data) })
-		})
+		d.after(flashDone, c.readDoneFn)
 	} else {
 		d.Counters.Get("write_blocks").Add(int64(cmd.Blocks))
 		// Data crosses the link first, then programs behind write cache;
 		// completion is posted at cache-accept time (flash programs in
-		// the background, visible to Flush).
-		data := append([]byte(nil), cmd.Data...)
-		d.transfer(size, func() {
-			d.writeStore(cmd.LBA, data)
-			d.after(d.cfg.CtrlOverhead, func() { complete(StatusOK, nil) })
-		})
+		// the background, visible to Flush). The payload is copied into
+		// the context's reusable scratch: the caller's buffer may be a
+		// pooled capsule that is recycled before the link transfer lands.
+		c.wscratch = append(c.wscratch[:0], cmd.Data...)
+		c.cmd.Data = nil
+		d.transfer(int64(cmd.Blocks)*int64(d.cfg.BlockSize), c.writeXferFn)
 	}
 }
+
+// readDone fires when the slowest flash channel has the data.
+func (c *cmdCtx) readDone() {
+	d := c.d
+	data := d.readStore(c.cmd.LBA, c.cmd.Blocks)
+	if d.plan.Roll(fault.Corrupt) && len(data) > 0 {
+		// Transient in-flight corruption: the returned copy is
+		// damaged, the store is not, so a checksum-driven reread
+		// observes clean data.
+		d.Counters.Get("injected_corruptions").Add(1)
+		data[d.plan.Pick(len(data))] ^= 0xA5
+	}
+	c.status, c.data = StatusOK, data
+	d.transfer(int64(c.cmd.Blocks)*int64(d.cfg.BlockSize), c.completeFn)
+}
+
+// writeXfer fires when the write payload has crossed the link.
+func (c *cmdCtx) writeXfer() {
+	d := c.d
+	d.writeStore(c.cmd.LBA, c.wscratch)
+	c.status, c.data = StatusOK, nil
+	d.after(d.cfg.CtrlOverhead, c.writeDoneFn)
+}
+
+func (c *cmdCtx) writeDone() { c.complete() }
 
 func (d *Device) transfer(size int64, done func()) {
 	if d.dma == nil {
@@ -374,7 +468,7 @@ func (d *Device) transfer(size int64, done func()) {
 }
 
 func (d *Device) after(delay sim.Duration, fn func()) {
-	d.eng.After(delay, "nvme:"+d.cfg.Name, fn)
+	d.eng.After(delay, d.evName, fn)
 }
 
 func (d *Device) readStore(lba int64, blocks int) []byte {
@@ -464,6 +558,7 @@ type Host struct {
 	deadline sim.Duration // 0 = no deadline (the default)
 	timers   map[uint16]sim.EventRef
 	rec      *telemetry.Recorder
+	opFree   []*hostOp
 	QueueErr int64
 	Timeouts int64 // deadline-synthesized StatusTimeout completions
 }
@@ -543,6 +638,46 @@ func (h *Host) Submit(q int, cmd Command, cb func(Completion)) error {
 	return nil
 }
 
+// hostOp adapts a user read/status callback to the Submit completion
+// shape without a per-call closure; instances cycle through the host's
+// free list. dispatch recycles before invoking the callback so it can
+// immediately reissue.
+type hostOp struct {
+	h      *Host
+	readCb func(data []byte, status uint16)
+	stCb   func(status uint16)
+	fn     func(Completion) // prebound dispatch
+}
+
+func (h *Host) getOp() *hostOp {
+	if n := len(h.opFree); n > 0 {
+		op := h.opFree[n-1]
+		h.opFree = h.opFree[:n-1]
+		return op
+	}
+	op := &hostOp{h: h}
+	op.fn = op.dispatch
+	return op
+}
+
+func (op *hostOp) dispatch(c Completion) {
+	h := op.h
+	readCb, stCb := op.readCb, op.stCb
+	op.readCb, op.stCb = nil, nil
+	h.opFree = append(h.opFree, op)
+	if readCb != nil {
+		readCb(c.Data, c.Status)
+	} else if stCb != nil {
+		stCb(c.Status)
+	}
+}
+
+// putOp returns an op whose submission failed before it could complete.
+func (h *Host) putOp(op *hostOp) {
+	op.readCb, op.stCb = nil, nil
+	h.opFree = append(h.opFree, op)
+}
+
 // Read reads blocks starting at lba on queue q.
 func (h *Host) Read(q int, lba int64, blocks int, cb func(data []byte, status uint16)) error {
 	return h.ReadSpan(q, lba, blocks, 0, cb)
@@ -551,9 +686,13 @@ func (h *Host) Read(q int, lba int64, blocks int, cb func(data []byte, status ui
 // ReadSpan is Read carrying a request-scoped trace context down the
 // command path.
 func (h *Host) ReadSpan(q int, lba int64, blocks int, span telemetry.RequestID, cb func(data []byte, status uint16)) error {
-	return h.Submit(q, Command{Opcode: OpRead, NSID: 1, LBA: lba, Blocks: blocks, Span: span}, func(c Completion) {
-		cb(c.Data, c.Status)
-	})
+	op := h.getOp()
+	op.readCb = cb
+	if err := h.Submit(q, Command{Opcode: OpRead, NSID: 1, LBA: lba, Blocks: blocks, Span: span}, op.fn); err != nil {
+		h.putOp(op)
+		return err
+	}
+	return nil
 }
 
 // Write writes data (len = blocks × BlockSize) at lba on queue q.
@@ -567,12 +706,14 @@ func (h *Host) WriteSpan(q int, lba int64, data []byte, span telemetry.RequestID
 	if len(data)%bs != 0 {
 		return fmt.Errorf("%w: %d bytes", ErrShortWrite, len(data))
 	}
+	op := h.getOp()
+	op.stCb = cb
 	cmd := Command{Opcode: OpWrite, NSID: 1, LBA: lba, Blocks: len(data) / bs, Data: data, Span: span}
-	return h.Submit(q, cmd, func(c Completion) {
-		if cb != nil {
-			cb(c.Status)
-		}
-	})
+	if err := h.Submit(q, cmd, op.fn); err != nil {
+		h.putOp(op)
+		return err
+	}
+	return nil
 }
 
 // DeviceBlocks returns the capacity of the underlying device in blocks.
@@ -588,9 +729,11 @@ func (h *Host) Flush(q int, cb func(status uint16)) error {
 
 // FlushSpan is Flush carrying a request-scoped trace context.
 func (h *Host) FlushSpan(q int, span telemetry.RequestID, cb func(status uint16)) error {
-	return h.Submit(q, Command{Opcode: OpFlush, NSID: 1, Span: span}, func(c Completion) {
-		if cb != nil {
-			cb(c.Status)
-		}
-	})
+	op := h.getOp()
+	op.stCb = cb
+	if err := h.Submit(q, Command{Opcode: OpFlush, NSID: 1, Span: span}, op.fn); err != nil {
+		h.putOp(op)
+		return err
+	}
+	return nil
 }

@@ -128,3 +128,37 @@ func BenchmarkRemoteRead4K(b *testing.B) {
 	}
 	eng.Run()
 }
+
+func TestRoundTripAllocFree(t *testing.T) {
+	// With telemetry disarmed, a full write+flush round trip —
+	// initiator capsule → rpc envelope → transport frames → target
+	// handler → nvme device and back — must run entirely out of the
+	// free lists. Reads are exempt from the pin: the device returns a
+	// freshly owned copy of the data by contract, which is one
+	// deliberate allocation. The first laps warm every pool on the
+	// path (wire capsules, rpc calls, reassembly, nvme contexts).
+	eng, _, ini := rig(t, transport.RDMA)
+	var werr, ferr error
+	wcb := func(err error) { werr = err }
+	fcb := func(err error) { ferr = err }
+	payload := make([]byte, 4096)
+	for i := 0; i < 4; i++ {
+		ini.Write(0, payload, wcb)
+		ini.Flush(fcb)
+		eng.Run()
+	}
+	if werr != nil || ferr != nil {
+		t.Fatal(werr, ferr)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		ini.Write(0, payload, wcb)
+		ini.Flush(fcb)
+		eng.Run()
+	})
+	if werr != nil || ferr != nil {
+		t.Fatal(werr, ferr)
+	}
+	if allocs != 0 {
+		t.Fatalf("transport→rpc→nvmeof round trip allocates %v/op; want 0", allocs)
+	}
+}

@@ -54,6 +54,7 @@ type Port struct {
 	barBase   int64
 	barSize   int64
 	busyUntil sim.Time
+	dmaName   string // precomputed DMA completion event name
 	Bytes     int64
 	TLPs      int64
 }
@@ -134,6 +135,7 @@ func (rc *RootComplex) Enumerate() ([]string, error) {
 		// Align BARs to their size, as real PCIe requires.
 		base := alignUp(rc.nextBase, size)
 		p.barBase, p.barSize = base, size
+		p.dmaName = "pcie.dma:" + p.dev.PCIeName()
 		rc.nextBase = base + size
 		out = append(out, fmt.Sprintf("port%d: %s x%d BAR=[%#x,%#x)", p.Index, p.dev.PCIeName(), p.Lanes, base, base+size))
 	}
@@ -217,13 +219,16 @@ func (rc *RootComplex) DMA(addr int64, size int64, done func()) error {
 	if rc.rec != nil {
 		rc.rec.Observe("pcie", "dma", finish.Sub(now))
 	}
-	rc.eng.At(finish, "pcie.dma:"+p.dev.PCIeName(), func() {
-		if done != nil {
-			done()
-		}
-	})
+	if done == nil {
+		done = nopDone
+	}
+	rc.eng.At(finish, p.dmaName, done)
 	return nil
 }
+
+// nopDone keeps the completion event (and thus event order) of a
+// callback-less DMA identical to one with a callback.
+func nopDone() {}
 
 // ScheduleLinkFaults installs deterministic link-down/retrain windows
 // derived from the plan (kind LinkDown): during each window every

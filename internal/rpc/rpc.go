@@ -13,6 +13,7 @@ import (
 	"hyperion/internal/sim"
 	"hyperion/internal/telemetry"
 	"hyperion/internal/transport"
+	"hyperion/internal/wire"
 )
 
 // Mode selects the server execution discipline.
@@ -33,18 +34,25 @@ var (
 	ErrRemote   = errors.New("rpc: remote error")
 )
 
+// request is the wire envelope. Envelopes are pooled by the issuing
+// client and travel by reference (a pointer boxes into an interface
+// without allocating); the server returns them to their pool once the
+// handler has been entered.
 type request struct {
 	ID     uint64
 	Method string
 	Arg    any
 	Span   telemetry.RequestID
+	c      *Client // origin pool
 }
 
+// response is the reply envelope, pooled by the server and released by
+// the receiving client after the value is extracted.
 type response struct {
 	ID  uint64
 	Val any
 	Err string
-	// bytes of the response body, for wire accounting.
+	s   *Server // origin pool
 }
 
 // Handler serves one method. respond must be called exactly once; it
@@ -60,14 +68,23 @@ type Server struct {
 	handlers map[string]Handler
 
 	// Queued-mode state.
-	queue            []func()
+	queue            []queuedReq
 	draining         bool
 	DispatchOverhead sim.Duration
+	dispatchFn       func()
+
+	respFree []*response
+	ctxFree  []*serveCtx
 
 	rec    *telemetry.Recorder
 	active telemetry.RequestID // span of the request being served
 
 	Requests, Errors int64
+}
+
+type queuedReq struct {
+	src netsim.Addr
+	req *request
 }
 
 // SetRecorder arms the telemetry plane: one span per served request,
@@ -91,6 +108,7 @@ func NewServer(eng *sim.Engine, ep transport.Endpoint, mode Mode) *Server {
 		handlers:         make(map[string]Handler),
 		DispatchOverhead: 2 * sim.Microsecond,
 	}
+	s.dispatchFn = s.dispatch
 	ep.OnMessage(s.onMessage)
 	return s
 }
@@ -99,17 +117,16 @@ func NewServer(eng *sim.Engine, ep transport.Endpoint, mode Mode) *Server {
 func (s *Server) Handle(method string, h Handler) { s.handlers[method] = h }
 
 func (s *Server) onMessage(src netsim.Addr, msg transport.Message) {
-	req, ok := msg.Payload.(request)
+	req, ok := msg.Payload.(*request)
 	if !ok {
 		return
 	}
 	s.Requests++
-	work := func() { s.serve(src, req) }
 	if s.mode == RunToCompletion {
-		work()
+		s.serve(src, req)
 		return
 	}
-	s.queue = append(s.queue, work)
+	s.queue = append(s.queue, queuedReq{src: src, req: req})
 	s.drain()
 }
 
@@ -120,50 +137,126 @@ func (s *Server) drain() {
 		return
 	}
 	s.draining = true
-	next := s.queue[0]
-	s.queue = s.queue[1:]
-	s.eng.After(s.DispatchOverhead, "rpc.dispatch", func() {
-		next()
-		s.draining = false
-		s.drain()
-	})
+	s.eng.After(s.DispatchOverhead, "rpc.dispatch", s.dispatchFn)
 }
 
-func (s *Server) serve(src netsim.Addr, req request) {
+func (s *Server) dispatch() {
+	next := s.queue[0]
+	s.queue[0] = queuedReq{}
+	s.queue = s.queue[1:]
+	if len(s.queue) == 0 {
+		s.queue = s.queue[:0]
+	}
+	s.serve(next.src, next.req)
+	s.draining = false
+	s.drain()
+}
+
+// serveCtx carries one in-flight request through its handler with a
+// prebound respond function; instances cycle through the server's free
+// list (respond may run long after serve returns).
+type serveCtx struct {
+	s         *Server
+	src       netsim.Addr
+	id        uint64
+	method    string
+	span      telemetry.RequestID
+	start     sim.Time
+	done      bool
+	respondFn func(val any, respBytes int, err error)
+}
+
+func (s *Server) getCtx() *serveCtx {
+	if n := len(s.ctxFree); n > 0 {
+		sc := s.ctxFree[n-1]
+		s.ctxFree = s.ctxFree[:n-1]
+		return sc
+	}
+	sc := &serveCtx{s: s}
+	sc.respondFn = sc.respond
+	return sc
+}
+
+func (sc *serveCtx) respond(val any, respBytes int, err error) {
+	if sc.done {
+		panic("rpc: respond called twice for " + sc.method)
+	}
+	sc.done = true
+	s := sc.s
+	resp := s.getResp()
+	resp.ID = sc.id
+	resp.Val = val
+	if err != nil {
+		s.Errors++
+		resp.Err = err.Error()
+		resp.Val = nil
+	}
+	if respBytes < 64 {
+		respBytes = 64
+	}
+	if s.rec != nil {
+		s.rec.Span("rpc.server", sc.method, sc.span, sc.start, s.eng.Now())
+	}
+	s.reply(sc.src, resp, respBytes, sc.span)
+	s.ctxFree = append(s.ctxFree, sc)
+}
+
+func (s *Server) getResp() *response {
+	if n := len(s.respFree); n > 0 {
+		r := s.respFree[n-1]
+		s.respFree = s.respFree[:n-1]
+		*r = response{s: s}
+		return r
+	}
+	return &response{s: s}
+}
+
+func (s *Server) serve(src netsim.Addr, req *request) {
 	h, ok := s.handlers[req.Method]
 	if !ok {
 		s.Errors++
-		s.reply(src, response{ID: req.ID, Err: ErrNoMethod.Error() + ": " + req.Method}, 64, req.Span)
+		resp := s.getResp()
+		resp.ID = req.ID
+		resp.Err = ErrNoMethod.Error() + ": " + req.Method
+		s.reply(src, resp, 64, req.Span)
+		if b, okb := req.Arg.(*wire.Buf); okb {
+			b.Release()
+		}
+		req.release()
 		return
 	}
-	start := s.eng.Now()
+	sc := s.getCtx()
+	sc.src = src
+	sc.id = req.ID
+	sc.method = req.Method
+	sc.span = req.Span
+	sc.start = s.eng.Now()
+	sc.done = false
+	arg := req.Arg
+	req.release() // envelope fields are copied; the arg lives on its own
 	prev := s.active
-	s.active = req.Span
-	done := false
-	h(req.Arg, func(val any, respBytes int, err error) {
-		if done {
-			panic("rpc: respond called twice for " + req.Method)
-		}
-		done = true
-		resp := response{ID: req.ID, Val: val}
-		if err != nil {
-			s.Errors++
-			resp.Err = err.Error()
-			resp.Val = nil
-		}
-		if respBytes < 64 {
-			respBytes = 64
-		}
-		if s.rec != nil {
-			s.rec.Span("rpc.server", req.Method, req.Span, start, s.eng.Now())
-		}
-		s.reply(src, resp, respBytes, req.Span)
-	})
+	s.active = sc.span
+	h(arg, sc.respondFn)
 	s.active = prev
+	// A wire-capsule argument carries one reference per delivered
+	// attempt (see Client.attempt); its bytes are valid only during the
+	// handler's synchronous extent.
+	if b, ok := arg.(*wire.Buf); ok {
+		b.Release()
+	}
 }
 
-func (s *Server) reply(dst netsim.Addr, resp response, bytes int, span telemetry.RequestID) {
-	_ = s.ep.Send(dst, transport.Message{Payload: resp, Bytes: bytes, Span: span})
+func (s *Server) reply(dst netsim.Addr, resp *response, bytes int, span telemetry.RequestID) {
+	err := s.ep.Send(dst, transport.Message{Payload: resp, Bytes: bytes, Span: span})
+	if err != nil {
+		s.putResp(resp)
+	}
+}
+
+func (s *Server) putResp(r *response) {
+	r.Val = nil
+	r.Err = ""
+	s.respFree = append(s.respFree, r)
 }
 
 // Client issues requests.
@@ -171,7 +264,7 @@ type Client struct {
 	eng     *sim.Engine
 	ep      transport.Endpoint
 	nextID  uint64
-	pending map[uint64]*pendingCall
+	pending map[uint64]*call
 	Timeout sim.Duration
 
 	// Retry policy. All three fields default to zero, which preserves
@@ -185,6 +278,9 @@ type Client struct {
 	RetryBackoff   sim.Duration
 	DeadlineBudget sim.Duration
 
+	reqFree  []*request
+	callFree []*call
+
 	rec *telemetry.Recorder
 
 	Calls, Timeouts int64
@@ -197,14 +293,28 @@ type Client struct {
 // unhooked client.
 func (c *Client) SetRecorder(rec *telemetry.Recorder) { c.rec = rec }
 
-type pendingCall struct {
-	cb    func(val any, err error)
-	timer sim.EventRef
+// call is one logical Call: the current attempt's timer and the retry
+// state, pooled on the client with prebound timer functions.
+type call struct {
+	c         *Client
+	dst       netsim.Addr
+	method    string
+	arg       any
+	argBytes  int
+	span      telemetry.RequestID
+	cb        func(val any, err error)
+	tries     int // attempts already timed out
+	deadline  sim.Time
+	start     sim.Time // first-attempt time, for the client-side span
+	id        uint64   // current attempt's request id
+	timer     sim.EventRef
+	timeoutFn func()
+	retryFn   func()
 }
 
 // NewClient wraps a transport endpoint.
 func NewClient(eng *sim.Engine, ep transport.Endpoint) *Client {
-	c := &Client{eng: eng, ep: ep, pending: make(map[uint64]*pendingCall), Timeout: 100 * sim.Millisecond}
+	c := &Client{eng: eng, ep: ep, pending: make(map[uint64]*call), Timeout: 100 * sim.Millisecond}
 	ep.OnMessage(c.onMessage)
 	return c
 }
@@ -214,22 +324,24 @@ func NewClient(eng *sim.Engine, ep transport.Endpoint) *Client {
 func (c *Client) Engine() *sim.Engine { return c.eng }
 
 func (c *Client) onMessage(src netsim.Addr, msg transport.Message) {
-	resp, ok := msg.Payload.(response)
+	resp, ok := msg.Payload.(*response)
 	if !ok {
 		return
 	}
-	pc, ok := c.pending[resp.ID]
+	cl, ok := c.pending[resp.ID]
 	if !ok {
 		return
 	}
 	delete(c.pending, resp.ID)
-	c.eng.Cancel(pc.timer)
-	pc.timer = sim.NoEvent
-	if resp.Err != "" {
-		pc.cb(nil, fmt.Errorf("%w: %s", ErrRemote, resp.Err))
+	c.eng.Cancel(cl.timer)
+	cl.timer = sim.NoEvent
+	val, errStr := resp.Val, resp.Err
+	resp.s.putResp(resp)
+	if errStr != "" {
+		cl.finish(nil, fmt.Errorf("%w: %s", ErrRemote, errStr))
 		return
 	}
-	pc.cb(resp.Val, nil)
+	cl.finish(val, nil)
 }
 
 // Call sends a request of argBytes wire size and invokes cb with the
@@ -245,68 +357,124 @@ func (c *Client) Call(dst netsim.Addr, method string, arg any, argBytes int, cb 
 // id travels inside the request envelope to the server (where
 // ActiveSpan exposes it to handlers) and tags the client-side span.
 func (c *Client) CallSpan(dst netsim.Addr, method string, arg any, argBytes int, span telemetry.RequestID, cb func(val any, err error)) {
-	if c.rec != nil {
-		callStart := c.eng.Now()
-		inner := cb
-		cb = func(val any, err error) {
-			c.rec.Span("rpc.client", method, span, callStart, c.eng.Now())
-			inner(val, err)
-		}
-	}
-	if c.MaxRetries <= 0 {
-		c.attempt(dst, method, arg, argBytes, span, cb)
-		return
-	}
-	var deadline sim.Time
-	if c.DeadlineBudget > 0 {
-		deadline = c.eng.Now().Add(c.DeadlineBudget)
-	}
-	var try func(n int)
-	try = func(n int) {
-		c.attempt(dst, method, arg, argBytes, span, func(val any, err error) {
-			if errors.Is(err, ErrTimeout) && n < c.MaxRetries {
-				backoff := c.RetryBackoff << uint(n)
-				// Retry only if another full attempt can still fit in the
-				// budget; otherwise surface the timeout now rather than
-				// burning the caller's remaining time on a doomed attempt.
-				if deadline == 0 || c.eng.Now().Add(backoff+c.Timeout) <= deadline {
-					c.Retries++
-					if backoff > 0 {
-						c.eng.After(backoff, "rpc.retry", func() { try(n + 1) })
-					} else {
-						try(n + 1)
-					}
-					return
-				}
-			}
-			cb(val, err)
-		})
-	}
-	try(0)
-}
-
-// attempt issues one wire attempt with its own timeout timer.
-func (c *Client) attempt(dst netsim.Addr, method string, arg any, argBytes int, span telemetry.RequestID, cb func(val any, err error)) {
-	c.Calls++
-	c.nextID++
-	id := c.nextID
 	if argBytes < 64 {
 		argBytes = 64
 	}
-	pc := &pendingCall{cb: cb}
-	c.pending[id] = pc
-	pc.timer = c.eng.After(c.Timeout, "rpc.timeout", func() {
-		if _, still := c.pending[id]; still {
-			delete(c.pending, id)
-			c.Timeouts++
-			cb(nil, ErrTimeout)
-		}
-	})
-	err := c.ep.Send(dst, transport.Message{Payload: request{ID: id, Method: method, Arg: arg, Span: span}, Bytes: argBytes, Span: span})
-	if err != nil {
-		delete(c.pending, id)
-		c.eng.Cancel(pc.timer)
-		pc.timer = sim.NoEvent
-		cb(nil, err)
+	cl := c.getCall()
+	cl.dst = dst
+	cl.method = method
+	cl.arg = arg
+	cl.argBytes = argBytes
+	cl.span = span
+	cl.cb = cb
+	cl.start = c.eng.Now()
+	if c.MaxRetries > 0 && c.DeadlineBudget > 0 {
+		cl.deadline = c.eng.Now().Add(c.DeadlineBudget)
 	}
+	cl.attempt()
+}
+
+func (c *Client) getCall() *call {
+	if n := len(c.callFree); n > 0 {
+		cl := c.callFree[n-1]
+		c.callFree = c.callFree[:n-1]
+		return cl
+	}
+	cl := &call{c: c}
+	cl.timeoutFn = cl.timeout
+	cl.retryFn = cl.retry
+	return cl
+}
+
+// finish resolves the call exactly once, recording the client-side
+// span when armed, and recycles the call before invoking cb so the
+// callback can immediately issue a follow-up request.
+func (cl *call) finish(val any, err error) {
+	c := cl.c
+	if c.rec != nil {
+		c.rec.Span("rpc.client", cl.method, cl.span, cl.start, c.eng.Now())
+	}
+	cb := cl.cb
+	*cl = call{c: c, timeoutFn: cl.timeoutFn, retryFn: cl.retryFn}
+	c.callFree = append(c.callFree, cl)
+	cb(val, err)
+}
+
+// attempt issues one wire attempt with its own timeout timer.
+func (cl *call) attempt() {
+	c := cl.c
+	c.Calls++
+	c.nextID++
+	cl.id = c.nextID
+	c.pending[cl.id] = cl
+	cl.timer = c.eng.After(c.Timeout, "rpc.timeout", cl.timeoutFn)
+	req := c.getReq()
+	req.ID = cl.id
+	req.Method = cl.method
+	req.Arg = cl.arg
+	req.Span = cl.span
+	// A wire-capsule argument gets one reference per attempt on the
+	// wire (released server-side after the handler runs), on top of the
+	// base reference the caller holds for the whole logical call —
+	// retries and stragglers each own their bytes.
+	capsule, isCapsule := cl.arg.(*wire.Buf)
+	if isCapsule {
+		capsule.Retain()
+	}
+	err := c.ep.Send(cl.dst, transport.Message{Payload: req, Bytes: cl.argBytes, Span: cl.span})
+	if err != nil {
+		delete(c.pending, cl.id)
+		c.eng.Cancel(cl.timer)
+		cl.timer = sim.NoEvent
+		if isCapsule {
+			capsule.Release()
+		}
+		req.release()
+		cl.finish(nil, err)
+	}
+}
+
+// timeout fires when the current attempt's timer expires: retry inside
+// the policy and budget, otherwise surface ErrTimeout.
+func (cl *call) timeout() {
+	c := cl.c
+	if c.pending[cl.id] != cl {
+		return
+	}
+	delete(c.pending, cl.id)
+	c.Timeouts++
+	if cl.tries < c.MaxRetries {
+		backoff := c.RetryBackoff << uint(cl.tries)
+		// Retry only if another full attempt can still fit in the
+		// budget; otherwise surface the timeout now rather than
+		// burning the caller's remaining time on a doomed attempt.
+		if cl.deadline == 0 || c.eng.Now().Add(backoff+c.Timeout) <= cl.deadline {
+			cl.tries++
+			c.Retries++
+			if backoff > 0 {
+				c.eng.After(backoff, "rpc.retry", cl.retryFn)
+			} else {
+				cl.attempt()
+			}
+			return
+		}
+	}
+	cl.finish(nil, ErrTimeout)
+}
+
+func (cl *call) retry() { cl.attempt() }
+
+func (c *Client) getReq() *request {
+	if n := len(c.reqFree); n > 0 {
+		r := c.reqFree[n-1]
+		c.reqFree = c.reqFree[:n-1]
+		return r
+	}
+	return &request{c: c}
+}
+
+func (r *request) release() {
+	r.Arg = nil
+	r.Method = ""
+	r.c.reqFree = append(r.c.reqFree, r)
 }

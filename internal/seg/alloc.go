@@ -72,11 +72,12 @@ func (a *allocator) release(addr, n int64) {
 	}
 }
 
-// lruCache models the hardware segment-descriptor cache: presence only,
-// no payload (the cost model cares about hit/miss, not contents). The
-// recency order is an index-linked list over a node arena, so get, put,
-// and remove are O(1) with no steady-state allocation; eviction order is
-// identical to the textbook list form (front = LRU, back = MRU).
+// lruCache models the hardware segment-descriptor cache. It caches the
+// descriptor pointer, so a translation hit is one map access (the owner
+// keeps it coherent by removing freed objects). The recency order is an
+// index-linked list over a node arena, so get, put, and remove are O(1)
+// with no steady-state allocation; eviction order is identical to the
+// textbook list form (front = LRU, back = MRU).
 type lruCache struct {
 	cap        int
 	idx        map[ObjectID]int32
@@ -87,6 +88,7 @@ type lruCache struct {
 
 type lruNode struct {
 	key        ObjectID
+	val        *Segment
 	prev, next int32
 }
 
@@ -100,17 +102,18 @@ func newLRU(cap int) *lruCache {
 	}
 }
 
-func (c *lruCache) get(id ObjectID) bool {
+func (c *lruCache) get(id ObjectID) (*Segment, bool) {
 	i, ok := c.idx[id]
 	if !ok {
-		return false
+		return nil, false
 	}
 	c.moveBack(i)
-	return true
+	return c.nodes[i].val, true
 }
 
-func (c *lruCache) put(id ObjectID) {
+func (c *lruCache) put(id ObjectID, sg *Segment) {
 	if i, ok := c.idx[id]; ok {
+		c.nodes[i].val = sg
 		c.moveBack(i)
 		return
 	}
@@ -118,6 +121,7 @@ func (c *lruCache) put(id ObjectID) {
 		v := c.head
 		c.unlink(v)
 		delete(c.idx, c.nodes[v].key)
+		c.nodes[v].val = nil
 		c.nodes[v].next = c.freeList
 		c.freeList = v
 	}
@@ -125,9 +129,9 @@ func (c *lruCache) put(id ObjectID) {
 	if c.freeList >= 0 {
 		i = c.freeList
 		c.freeList = c.nodes[i].next
-		c.nodes[i] = lruNode{key: id}
+		c.nodes[i] = lruNode{key: id, val: sg}
 	} else {
-		c.nodes = append(c.nodes, lruNode{key: id})
+		c.nodes = append(c.nodes, lruNode{key: id, val: sg})
 		i = int32(len(c.nodes) - 1)
 	}
 	c.pushBack(i)
@@ -141,6 +145,7 @@ func (c *lruCache) remove(id ObjectID) {
 	}
 	c.unlink(i)
 	delete(c.idx, id)
+	c.nodes[i].val = nil
 	c.nodes[i].next = c.freeList
 	c.freeList = i
 }

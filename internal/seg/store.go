@@ -106,7 +106,7 @@ type Store struct {
 	devs []*nvme.Host
 
 	table  map[ObjectID]*Segment
-	dram   []byte
+	dram   *dramBacking
 	dramAl *allocator
 	nvmeAl []*allocator // per device, in blocks
 	cache  *lruCache
@@ -140,7 +140,7 @@ func New(eng *sim.Engine, cfg Config, devs []*nvme.Host) *Store {
 		cfg:    cfg,
 		devs:   devs,
 		table:  make(map[ObjectID]*Segment),
-		dram:   make([]byte, cfg.DRAMBytes),
+		dram:   newDRAMBacking(cfg.DRAMBytes),
 		dramAl: newAllocator(cfg.DRAMBytes),
 	}
 	for i, d := range devs {
@@ -260,14 +260,12 @@ func (s *Store) split(addr int64) (dev int, lba int64) {
 // one DRAM access to the in-memory table.
 func (s *Store) Lookup(id ObjectID) (*Segment, sim.Duration, error) {
 	s.Lookups++
-	if s.cache != nil && s.cache.get(id) {
-		s.CacheHits++
-		sg, ok := s.table[id]
-		if !ok {
-			// Stale cache entry; fall through as a miss.
-			s.cache.remove(id)
-			s.CacheHits--
-		} else {
+	// The cache stores the descriptor pointer itself, so a hit resolves
+	// in one map access; Free removes entries, and table pointers are
+	// stable for an object's lifetime, so a cached pointer never dangles.
+	if s.cache != nil {
+		if sg, ok := s.cache.get(id); ok {
+			s.CacheHits++
 			if s.rec != nil {
 				s.rec.Observe("seg", "lookup", 0)
 				s.rec.Count("seg", "cache_hits", 1)
@@ -284,7 +282,7 @@ func (s *Store) Lookup(id ObjectID) (*Segment, sim.Duration, error) {
 		return nil, s.cfg.DRAMLatency, fmt.Errorf("%w: %v", ErrNotFound, id)
 	}
 	if s.cache != nil {
-		s.cache.put(id)
+		s.cache.put(id, sg)
 	}
 	return sg, s.cfg.DRAMLatency, nil
 }
@@ -324,7 +322,7 @@ func (s *Store) Read(id ObjectID, off, length int64, cb func(data []byte, err er
 		addr := sg.Addr + off
 		s.eng.After(d, "seg.read.dram", func() {
 			out := make([]byte, length)
-			copy(out, s.dram[addr:addr+length])
+			s.dram.read(out, addr)
 			cb(out, nil)
 		})
 		return
@@ -370,7 +368,7 @@ func (s *Store) Write(id ObjectID, off int64, data []byte, cb func(err error)) {
 		addr := sg.Addr + off
 		buf := append([]byte(nil), data...)
 		s.eng.After(d, "seg.write.dram", func() {
-			copy(s.dram[addr:], buf)
+			s.dram.write(addr, buf)
 			if cb != nil {
 				cb(nil)
 			}
@@ -489,7 +487,7 @@ func (s *Store) Promote(id ObjectID, cb func(error)) {
 		dev, lba := s.split(sg.Addr)
 		blocks := (sg.Size + int64(s.cfg.BlockSize) - 1) / int64(s.cfg.BlockSize)
 		s.nvmeAl[dev].release(lba, blocks)
-		copy(s.dram[addr:], data)
+		s.dram.write(addr, data)
 		sg.Loc = LocDRAM
 		sg.Addr = addr
 		s.mutated()
@@ -517,7 +515,7 @@ func (s *Store) Demote(id ObjectID, cb func(error)) {
 		return
 	}
 	data := make([]byte, sg.Size)
-	copy(data, s.dram[sg.Addr:sg.Addr+sg.Size])
+	s.dram.read(data, sg.Addr)
 	oldAddr, oldSize := sg.Addr, sg.Size
 	s.devWrite(dev, lba, padToBlocks(data, s.cfg.BlockSize), func(werr error) {
 		if werr != nil {

@@ -100,7 +100,7 @@ func (v *SyncView) ReadAtBuf(id ObjectID, off, length int64, buf []byte) ([]byte
 	if sg.Loc == LocDRAM {
 		v.cost += v.s.dramTime(length)
 		out := grow(buf, length)
-		copy(out, v.s.dram[sg.Addr+off:sg.Addr+off+length])
+		v.s.dram.read(out, sg.Addr+off)
 		return out, nil
 	}
 	dev, lba := v.s.split(sg.Addr)
@@ -138,7 +138,7 @@ func (v *SyncView) WriteAt(id ObjectID, off int64, data []byte) error {
 	v.BytesWritten += length
 	if sg.Loc == LocDRAM {
 		v.cost += v.s.dramTime(length)
-		copy(v.s.dram[sg.Addr+off:], data)
+		v.s.dram.write(sg.Addr+off, data)
 		return nil
 	}
 	dev, lba := v.s.split(sg.Addr)

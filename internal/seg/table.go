@@ -1,9 +1,9 @@
 package seg
 
 import (
-	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"hyperion/internal/wire"
 
 	"hyperion/internal/nvme"
 )
@@ -40,13 +40,13 @@ func (s *Store) Checkpoint(cb func(error)) {
 		return
 	}
 	buf := make([]byte, (need+bs-1)/bs*bs)
-	binary.LittleEndian.PutUint32(buf[0:], tableMagic)
-	binary.LittleEndian.PutUint32(buf[4:], uint32(len(durable)))
+	wire.PutLE32At(buf, 0, tableMagic)
+	wire.PutLE32At(buf, 4, uint32(len(durable)))
 	off := 16
 	for _, sg := range durable {
 		sg.ID.EncodeTo(buf[off:])
-		binary.LittleEndian.PutUint64(buf[off+16:], uint64(sg.Size))
-		binary.LittleEndian.PutUint64(buf[off+24:], uint64(sg.Addr))
+		wire.PutLE64At(buf, off+16, uint64(sg.Size))
+		wire.PutLE64At(buf, off+24, uint64(sg.Addr))
 		var flags byte
 		if sg.Durable {
 			flags |= 1
@@ -55,7 +55,7 @@ func (s *Store) Checkpoint(cb func(error)) {
 		off += entryBytes
 	}
 	crc := crc32.ChecksumIEEE(buf[16:])
-	binary.LittleEndian.PutUint32(buf[8:], crc)
+	wire.PutLE32At(buf, 8, crc)
 	s.Counters.Get("checkpoints").Add(1)
 	s.devWrite(0, 0, buf, func(err error) {
 		if err != nil {
@@ -99,12 +99,12 @@ func (s *Store) Recover(cb func(n int, err error)) {
 			cb(0, fmt.Errorf("seg: recover read status %#x", st))
 			return
 		}
-		if binary.LittleEndian.Uint32(buf[0:]) != tableMagic {
+		if wire.LE32At(buf, 0) != tableMagic {
 			cb(0, fmt.Errorf("%w: bad magic", ErrBadTable))
 			return
 		}
-		n := int(binary.LittleEndian.Uint32(buf[4:]))
-		want := binary.LittleEndian.Uint32(buf[8:])
+		n := int(wire.LE32At(buf, 4))
+		want := wire.LE32At(buf, 8)
 		need := 16 + n*entryBytes
 		if need > len(buf) {
 			cb(0, fmt.Errorf("%w: truncated table", ErrBadTable))
@@ -120,8 +120,8 @@ func (s *Store) Recover(cb func(n int, err error)) {
 		for i := 0; i < n; i++ {
 			sg := &Segment{
 				ID:      DecodeID(buf[off:]),
-				Size:    int64(binary.LittleEndian.Uint64(buf[off+16:])),
-				Addr:    int64(binary.LittleEndian.Uint64(buf[off+24:])),
+				Size:    int64(wire.LE64At(buf, off+16)),
+				Addr:    int64(wire.LE64At(buf, off+24)),
 				Loc:     LocNVMe,
 				Durable: buf[off+32]&1 != 0,
 			}

@@ -6,9 +6,9 @@
 package bptree
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
+	"hyperion/internal/wire"
 
 	"hyperion/internal/seg"
 )
@@ -122,23 +122,23 @@ func Open(v *seg.SyncView, metaID seg.ObjectID) (*Tree, error) {
 	if err != nil {
 		return nil, err
 	}
-	if binary.LittleEndian.Uint32(buf) != metaMagic {
+	if wire.LE32At(buf, 0) != metaMagic {
 		return nil, fmt.Errorf("%w: bad meta magic", ErrCorrupt)
 	}
-	t.root = seg.ObjectID{Hi: binary.LittleEndian.Uint64(buf[8:]), Lo: binary.LittleEndian.Uint64(buf[16:])}
-	t.height = int(binary.LittleEndian.Uint32(buf[24:]))
-	t.nextLo = binary.LittleEndian.Uint64(buf[32:])
+	t.root = seg.ObjectID{Hi: wire.LE64At(buf, 8), Lo: wire.LE64At(buf, 16)}
+	t.height = int(wire.LE32At(buf, 24))
+	t.nextLo = wire.LE64At(buf, 32)
 	t.durable = buf[40] == 1
 	return t, nil
 }
 
 func (t *Tree) writeMeta() error {
 	buf := t.metaBuf[:]
-	binary.LittleEndian.PutUint32(buf, metaMagic)
-	binary.LittleEndian.PutUint64(buf[8:], t.root.Hi)
-	binary.LittleEndian.PutUint64(buf[16:], t.root.Lo)
-	binary.LittleEndian.PutUint32(buf[24:], uint32(t.height))
-	binary.LittleEndian.PutUint64(buf[32:], t.nextLo)
+	wire.PutLE32At(buf, 0, metaMagic)
+	wire.PutLE64At(buf, 8, t.root.Hi)
+	wire.PutLE64At(buf, 16, t.root.Lo)
+	wire.PutLE32At(buf, 24, uint32(t.height))
+	wire.PutLE64At(buf, 32, t.nextLo)
 	if t.durable {
 		buf[40] = 1
 	}
@@ -180,28 +180,28 @@ func (t *Tree) writeNode(id seg.ObjectID, n *node) error {
 	buf := t.wbuf
 	clear(buf)
 	buf[0] = n.kind
-	binary.LittleEndian.PutUint16(buf[2:], uint16(len(n.keys)))
+	wire.PutLE16At(buf, 2, uint16(len(n.keys)))
 	off := 8
 	switch n.kind {
 	case kindLeaf:
-		binary.LittleEndian.PutUint64(buf[off:], n.next.Hi)
-		binary.LittleEndian.PutUint64(buf[off+8:], n.next.Lo)
+		wire.PutLE64At(buf, off, n.next.Hi)
+		wire.PutLE64At(buf, off+8, n.next.Lo)
 		off += 16
 		for i, k := range n.keys {
-			binary.LittleEndian.PutUint64(buf[off+i*8:], k)
+			wire.PutLE64At(buf, off+i*8, k)
 		}
 		off += LeafCap * 8
 		for i, v := range n.vals {
-			binary.LittleEndian.PutUint64(buf[off+i*8:], v)
+			wire.PutLE64At(buf, off+i*8, v)
 		}
 	case kindInternal:
 		for i, k := range n.keys {
-			binary.LittleEndian.PutUint64(buf[off+i*8:], k)
+			wire.PutLE64At(buf, off+i*8, k)
 		}
 		off += IntCap * 8
 		for i, c := range n.children {
-			binary.LittleEndian.PutUint64(buf[off+i*16:], c.Hi)
-			binary.LittleEndian.PutUint64(buf[off+i*16+8:], c.Lo)
+			wire.PutLE64At(buf, off+i*16, c.Hi)
+			wire.PutLE64At(buf, off+i*16+8, c.Lo)
 		}
 	default:
 		return fmt.Errorf("%w: kind %d", ErrCorrupt, n.kind)
@@ -253,24 +253,24 @@ func decodeNodeInto(n *node, buf []byte) error {
 		return fmt.Errorf("%w: short node", ErrCorrupt)
 	}
 	n.kind = buf[0]
-	cnt := int(binary.LittleEndian.Uint16(buf[2:]))
+	cnt := int(wire.LE16At(buf, 2))
 	off := 8
 	switch n.kind {
 	case kindLeaf:
 		if cnt > LeafCap {
 			return fmt.Errorf("%w: leaf count %d", ErrCorrupt, cnt)
 		}
-		n.next = seg.ObjectID{Hi: binary.LittleEndian.Uint64(buf[off:]), Lo: binary.LittleEndian.Uint64(buf[off+8:])}
+		n.next = seg.ObjectID{Hi: wire.LE64At(buf, off), Lo: wire.LE64At(buf, off+8)}
 		off += 16
 		n.children = n.children[:0]
 		n.keys = growU64(n.keys, cnt, LeafCap+1)
 		n.vals = growU64(n.vals, cnt, LeafCap+1)
 		for i := 0; i < cnt; i++ {
-			n.keys[i] = binary.LittleEndian.Uint64(buf[off+i*8:])
+			n.keys[i] = wire.LE64At(buf, off+i*8)
 		}
 		off += LeafCap * 8
 		for i := 0; i < cnt; i++ {
-			n.vals[i] = binary.LittleEndian.Uint64(buf[off+i*8:])
+			n.vals[i] = wire.LE64At(buf, off+i*8)
 		}
 	case kindInternal:
 		if cnt > IntCap {
@@ -280,14 +280,14 @@ func decodeNodeInto(n *node, buf []byte) error {
 		n.vals = n.vals[:0]
 		n.keys = growU64(n.keys, cnt, IntCap+1)
 		for i := 0; i < cnt; i++ {
-			n.keys[i] = binary.LittleEndian.Uint64(buf[off+i*8:])
+			n.keys[i] = wire.LE64At(buf, off+i*8)
 		}
 		off += IntCap * 8
 		n.children = growIDs(n.children, cnt+1, IntCap+2)
 		for i := 0; i <= cnt; i++ {
 			n.children[i] = seg.ObjectID{
-				Hi: binary.LittleEndian.Uint64(buf[off+i*16:]),
-				Lo: binary.LittleEndian.Uint64(buf[off+i*16+8:]),
+				Hi: wire.LE64At(buf, off+i*16),
+				Lo: wire.LE64At(buf, off+i*16+8),
 			}
 		}
 	default:
@@ -318,14 +318,14 @@ func decodeNode(buf []byte) (*node, error) {
 		return nil, fmt.Errorf("%w: short node", ErrCorrupt)
 	}
 	n := &node{kind: buf[0]}
-	cnt := int(binary.LittleEndian.Uint16(buf[2:]))
+	cnt := int(wire.LE16At(buf, 2))
 	off := 8
 	switch n.kind {
 	case kindLeaf:
 		if cnt > LeafCap {
 			return nil, fmt.Errorf("%w: leaf count %d", ErrCorrupt, cnt)
 		}
-		n.next = seg.ObjectID{Hi: binary.LittleEndian.Uint64(buf[off:]), Lo: binary.LittleEndian.Uint64(buf[off+8:])}
+		n.next = seg.ObjectID{Hi: wire.LE64At(buf, off), Lo: wire.LE64At(buf, off+8)}
 		off += 16
 		if cnt > 0 {
 			// One exact-size backing array for both slices; the capacity
@@ -333,11 +333,11 @@ func decodeNode(buf []byte) (*node, error) {
 			kv := make([]uint64, 2*cnt)
 			n.keys, n.vals = kv[:cnt:cnt], kv[cnt:]
 			for i := 0; i < cnt; i++ {
-				n.keys[i] = binary.LittleEndian.Uint64(buf[off+i*8:])
+				n.keys[i] = wire.LE64At(buf, off+i*8)
 			}
 			off += LeafCap * 8
 			for i := 0; i < cnt; i++ {
-				n.vals[i] = binary.LittleEndian.Uint64(buf[off+i*8:])
+				n.vals[i] = wire.LE64At(buf, off+i*8)
 			}
 		}
 	case kindInternal:
@@ -346,14 +346,14 @@ func decodeNode(buf []byte) (*node, error) {
 		}
 		n.keys = make([]uint64, cnt)
 		for i := 0; i < cnt; i++ {
-			n.keys[i] = binary.LittleEndian.Uint64(buf[off+i*8:])
+			n.keys[i] = wire.LE64At(buf, off+i*8)
 		}
 		off += IntCap * 8
 		n.children = make([]seg.ObjectID, cnt+1)
 		for i := 0; i <= cnt; i++ {
 			n.children[i] = seg.ObjectID{
-				Hi: binary.LittleEndian.Uint64(buf[off+i*16:]),
-				Lo: binary.LittleEndian.Uint64(buf[off+i*16+8:]),
+				Hi: wire.LE64At(buf, off+i*16),
+				Lo: wire.LE64At(buf, off+i*16+8),
 			}
 		}
 	default:

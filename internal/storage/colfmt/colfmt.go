@@ -91,6 +91,22 @@ func (b *Batch) AppendRow(vals ...any) error {
 	return nil
 }
 
+// AppendInt64s adds one row of int64 values without boxing; the schema
+// must be all-int64 (the common telemetry/analytics shape). The variadic
+// slice never escapes, so a call with literal arguments is allocation-free.
+func (b *Batch) AppendInt64s(vals ...int64) error {
+	if len(vals) != len(b.Schema.Columns) {
+		return fmt.Errorf("colfmt: row has %d values, schema has %d columns", len(vals), len(b.Schema.Columns))
+	}
+	for i, c := range b.Schema.Columns {
+		if c.Type != TypeInt64 {
+			return fmt.Errorf("colfmt: column %s is not int64", c.Name)
+		}
+		b.Int64s[c.Name] = append(b.Int64s[c.Name], vals[i])
+	}
+	return nil
+}
+
 // Errors.
 var ErrCorrupt = errors.New("colfmt: corrupt table object")
 
@@ -116,6 +132,17 @@ func NewWriter(v *seg.SyncView, schema Schema, rowsPerGroup int) *Writer {
 // Append adds one row.
 func (w *Writer) Append(vals ...any) error {
 	if err := w.pending.AppendRow(vals...); err != nil {
+		return err
+	}
+	if w.pending.Rows() >= w.rowsPerGroup {
+		w.flushGroup()
+	}
+	return nil
+}
+
+// AppendInt64s adds one row to an all-int64 table without boxing.
+func (w *Writer) AppendInt64s(vals ...int64) error {
+	if err := w.pending.AppendInt64s(vals...); err != nil {
 		return err
 	}
 	if w.pending.Rows() >= w.rowsPerGroup {

@@ -7,9 +7,9 @@ package kvssd
 
 import (
 	"bytes"
-	"encoding/binary"
 	"errors"
 	"fmt"
+	"hyperion/internal/wire"
 
 	"hyperion/internal/seg"
 	"hyperion/internal/storage/bptree"
@@ -131,19 +131,19 @@ func Open(v *seg.SyncView, metaID seg.ObjectID) (*KV, error) {
 	if err != nil {
 		return nil, err
 	}
-	if binary.LittleEndian.Uint32(buf) != metaMagic {
+	if wire.LE32At(buf, 0) != metaMagic {
 		return nil, fmt.Errorf("%w: bad meta magic", ErrCorrupt)
 	}
 	kv.backend = Backend(buf[4])
 	kv.durable = buf[5] == 1
-	kv.nextLo = binary.LittleEndian.Uint64(buf[8:])
-	kv.tailOff = int64(binary.LittleEndian.Uint64(buf[16:]))
-	n := int(binary.LittleEndian.Uint32(buf[24:]))
+	kv.nextLo = wire.LE64At(buf, 8)
+	kv.tailOff = int64(wire.LE64At(buf, 16))
+	n := int(wire.LE32At(buf, 24))
 	off := 32
 	for i := 0; i < n; i++ {
 		kv.chunks = append(kv.chunks, seg.ObjectID{
-			Hi: binary.LittleEndian.Uint64(buf[off:]),
-			Lo: binary.LittleEndian.Uint64(buf[off+8:]),
+			Hi: wire.LE64At(buf, off),
+			Lo: wire.LE64At(buf, off+8),
 		})
 		off += 16
 	}
@@ -172,18 +172,18 @@ func (kv *KV) writeMeta() error {
 		kv.metaBuf = make([]byte, 4096)
 	}
 	buf := kv.metaBuf
-	binary.LittleEndian.PutUint32(buf, metaMagic)
+	wire.PutLE32At(buf, 0, metaMagic)
 	buf[4] = byte(kv.backend)
 	if kv.durable {
 		buf[5] = 1
 	}
-	binary.LittleEndian.PutUint64(buf[8:], kv.nextLo)
-	binary.LittleEndian.PutUint64(buf[16:], uint64(kv.tailOff))
-	binary.LittleEndian.PutUint32(buf[24:], uint32(len(kv.chunks)))
+	wire.PutLE64At(buf, 8, kv.nextLo)
+	wire.PutLE64At(buf, 16, uint64(kv.tailOff))
+	wire.PutLE32At(buf, 24, uint32(len(kv.chunks)))
 	off := 32
 	for _, c := range kv.chunks {
-		binary.LittleEndian.PutUint64(buf[off:], c.Hi)
-		binary.LittleEndian.PutUint64(buf[off+8:], c.Lo)
+		wire.PutLE64At(buf, off, c.Hi)
+		wire.PutLE64At(buf, off+8, c.Lo)
 		off += 16
 		if off > len(buf)-16 {
 			return fmt.Errorf("kvssd: too many log chunks for meta object")
@@ -233,8 +233,8 @@ func (kv *KV) appendRecord(key, val []byte) (uint64, error) {
 		kv.recBuf = make([]byte, recLen)
 	}
 	rec := kv.recBuf[:recLen]
-	binary.LittleEndian.PutUint16(rec, uint16(len(key)))
-	binary.LittleEndian.PutUint32(rec[2:], uint32(len(val)))
+	wire.PutLE16At(rec, 0, uint16(len(key)))
+	wire.PutLE32At(rec, 2, uint32(len(val)))
 	copy(rec[6:], key)
 	copy(rec[6+len(key):], val)
 	chunk := len(kv.chunks) - 1
@@ -261,8 +261,8 @@ func (kv *KV) readRecord(ref uint64) (key, val []byte, err error) {
 		return nil, nil, err
 	}
 	kv.readBuf = buf
-	kl := int(binary.LittleEndian.Uint16(buf))
-	vl := int(binary.LittleEndian.Uint32(buf[2:]))
+	kl := int(wire.LE16At(buf, 0))
+	vl := int(wire.LE32At(buf, 2))
 	if 6+kl+vl != recLen {
 		return nil, nil, fmt.Errorf("%w: lengths", ErrCorrupt)
 	}

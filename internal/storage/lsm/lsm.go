@@ -7,9 +7,9 @@
 package lsm
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
+	"hyperion/internal/wire"
 	"sort"
 
 	"hyperion/internal/seg"
@@ -84,22 +84,22 @@ func Open(v *seg.SyncView, metaID seg.ObjectID) (*Tree, error) {
 	if err != nil {
 		return nil, err
 	}
-	if binary.LittleEndian.Uint32(buf) != manifestMagic {
+	if wire.LE32At(buf, 0) != manifestMagic {
 		return nil, fmt.Errorf("%w: bad manifest magic", ErrCorrupt)
 	}
 	t.durable = buf[4] == 1
-	t.memCap = int(binary.LittleEndian.Uint32(buf[8:]))
-	t.nextLo = binary.LittleEndian.Uint64(buf[16:])
+	t.memCap = int(wire.LE32At(buf, 8))
+	t.nextLo = wire.LE64At(buf, 16)
 	off := 24
 	for l := 0; l < MaxLevels; l++ {
-		n := int(binary.LittleEndian.Uint16(buf[off:]))
+		n := int(wire.LE16At(buf, off))
 		off += 2
 		for i := 0; i < n; i++ {
 			r := run{
-				id:     seg.ObjectID{Hi: binary.LittleEndian.Uint64(buf[off:]), Lo: binary.LittleEndian.Uint64(buf[off+8:])},
-				count:  int(binary.LittleEndian.Uint32(buf[off+16:])),
-				minKey: binary.LittleEndian.Uint64(buf[off+20:]),
-				maxKey: binary.LittleEndian.Uint64(buf[off+28:]),
+				id:     seg.ObjectID{Hi: wire.LE64At(buf, off), Lo: wire.LE64At(buf, off+8)},
+				count:  int(wire.LE32At(buf, off+16)),
+				minKey: wire.LE64At(buf, off+20),
+				maxKey: wire.LE64At(buf, off+28),
 			}
 			t.levels[l] = append(t.levels[l], r)
 			off += 36
@@ -110,22 +110,22 @@ func Open(v *seg.SyncView, metaID seg.ObjectID) (*Tree, error) {
 
 func (t *Tree) writeManifest() error {
 	buf := make([]byte, 8192)
-	binary.LittleEndian.PutUint32(buf, manifestMagic)
+	wire.PutLE32At(buf, 0, manifestMagic)
 	if t.durable {
 		buf[4] = 1
 	}
-	binary.LittleEndian.PutUint32(buf[8:], uint32(t.memCap))
-	binary.LittleEndian.PutUint64(buf[16:], t.nextLo)
+	wire.PutLE32At(buf, 8, uint32(t.memCap))
+	wire.PutLE64At(buf, 16, t.nextLo)
 	off := 24
 	for l := 0; l < MaxLevels; l++ {
-		binary.LittleEndian.PutUint16(buf[off:], uint16(len(t.levels[l])))
+		wire.PutLE16At(buf, off, uint16(len(t.levels[l])))
 		off += 2
 		for _, r := range t.levels[l] {
-			binary.LittleEndian.PutUint64(buf[off:], r.id.Hi)
-			binary.LittleEndian.PutUint64(buf[off+8:], r.id.Lo)
-			binary.LittleEndian.PutUint32(buf[off+16:], uint32(r.count))
-			binary.LittleEndian.PutUint64(buf[off+20:], r.minKey)
-			binary.LittleEndian.PutUint64(buf[off+28:], r.maxKey)
+			wire.PutLE64At(buf, off, r.id.Hi)
+			wire.PutLE64At(buf, off+8, r.id.Lo)
+			wire.PutLE32At(buf, off+16, uint32(r.count))
+			wire.PutLE64At(buf, off+20, r.minKey)
+			wire.PutLE64At(buf, off+28, r.maxKey)
 			off += 36
 			if off > len(buf)-40 {
 				return fmt.Errorf("%w: manifest overflow", ErrCorrupt)
@@ -220,11 +220,11 @@ func (t *Tree) writeRun(entries []entry) (run, error) {
 		return run{}, err
 	}
 	buf := make([]byte, size)
-	binary.LittleEndian.PutUint64(buf, uint64(len(entries)))
+	wire.PutLE64At(buf, 0, uint64(len(entries)))
 	off := 16
 	for _, e := range entries {
-		binary.LittleEndian.PutUint64(buf[off:], e.key)
-		binary.LittleEndian.PutUint64(buf[off+8:], e.val)
+		wire.PutLE64At(buf, off, e.key)
+		wire.PutLE64At(buf, off+8, e.val)
 		if e.tombstone {
 			buf[off+16] = 1
 		}
@@ -243,7 +243,7 @@ func (t *Tree) readRun(r run) ([]entry, error) {
 	if err != nil {
 		return nil, err
 	}
-	n := int(binary.LittleEndian.Uint64(buf))
+	n := int(wire.LE64At(buf, 0))
 	if n != r.count {
 		return nil, fmt.Errorf("%w: run count %d != manifest %d", ErrCorrupt, n, r.count)
 	}
@@ -251,8 +251,8 @@ func (t *Tree) readRun(r run) ([]entry, error) {
 	off := 16
 	for i := range out {
 		out[i] = entry{
-			key:       binary.LittleEndian.Uint64(buf[off:]),
-			val:       binary.LittleEndian.Uint64(buf[off+8:]),
+			key:       wire.LE64At(buf, off),
+			val:       wire.LE64At(buf, off+8),
 			tombstone: buf[off+16] == 1,
 		}
 		off += entryBytes
@@ -288,8 +288,8 @@ func (t *Tree) readEntry(r run, i int) (entry, error) {
 		return entry{}, err
 	}
 	return entry{
-		key:       binary.LittleEndian.Uint64(buf),
-		val:       binary.LittleEndian.Uint64(buf[8:]),
+		key:       wire.LE64At(buf, 0),
+		val:       wire.LE64At(buf, 8),
 		tombstone: buf[16] == 1,
 	}, nil
 }

@@ -4,6 +4,7 @@ import (
 	"hyperion/internal/netsim"
 	"hyperion/internal/sim"
 	"hyperion/internal/telemetry"
+	"hyperion/internal/wire"
 )
 
 // Homa-like transport: message-oriented, receiver-driven. The first
@@ -29,6 +30,12 @@ type homaEndpoint struct {
 	outbound map[uint64]*homaSend
 	inbound  map[homaKey]*homaRecv
 	overhead sim.Duration
+
+	hdrs        *wire.Pool
+	ctrlScratch []int // reused by decodeCtrl for resend missing lists
+
+	deliverQ  fifo[delivery]
+	deliverFn func()
 }
 
 type homaKey struct {
@@ -69,7 +76,9 @@ func newHoma(eng *sim.Engine, nic *netsim.NIC) *homaEndpoint {
 		outbound: make(map[uint64]*homaSend),
 		inbound:  make(map[homaKey]*homaRecv),
 		overhead: 500 * sim.Nanosecond,
+		hdrs:     wire.NewPool(dataHdrLen),
 	}
+	h.deliverFn = h.fireDeliver
 	nic.OnReceive(h.onFrame)
 	return h
 }
@@ -131,19 +140,28 @@ func (h *homaEndpoint) pump(s *homaSend) {
 }
 
 func (h *homaEndpoint) sendFrag(s *homaSend, i int) {
-	frag := dataFrag{MsgID: s.id, Index: i, Total: s.total, Bytes: s.bytes, Span: s.span}
+	frag := dataFrag{MsgID: s.id, Index: i, Total: s.total, Bytes: s.bytes}
+	var payload any
 	if i == s.total-1 {
-		frag.Payload = s.payload
+		payload = s.payload
 	}
-	_ = h.nic.Send(netsim.Frame{Dst: s.dst, Payload: frag, Bytes: fragWire(s.bytes, i), Span: frag.Span})
+	hdr := encodeData(h.hdrs, frag)
+	err := h.nic.Send(netsim.Frame{Dst: s.dst, Payload: payload, Buf: hdr, Bytes: fragWire(s.bytes, i), Span: s.span})
+	if err != nil {
+		hdr.Release()
+	}
 	h.stats.DataFrames++
 }
 
 func (h *homaEndpoint) onFrame(f netsim.Frame) {
-	switch pl := f.Payload.(type) {
-	case dataFrag:
-		h.onData(f.Src, pl)
-	case ctrlMsg:
+	switch frameKind(f) {
+	case frameData:
+		h.onData(f.Src, decodeData(f))
+	case frameCtrl:
+		pl := decodeCtrl(f.Buf.Bytes(), h.ctrlScratch[:0])
+		if pl.Missing != nil {
+			h.ctrlScratch = pl.Missing[:0]
+		}
 		switch pl.Op {
 		case grantOp:
 			if s, ok := h.outbound[pl.MsgID]; ok {
@@ -200,12 +218,8 @@ func (h *homaEndpoint) onData(src netsim.Addr, frag dataFrag) {
 		h.sendCtrl(src, ctrlMsg{Op: doneOp, MsgID: r.id})
 		delete(h.inbound, key)
 		h.stats.Delivered++
-		payload, bytes, span := r.payload, r.bytes, r.span
-		h.eng.After(h.overhead, "homa.deliver", func() {
-			if h.handler != nil {
-				h.handler(src, Message{Payload: payload, Bytes: bytes, Span: span})
-			}
-		})
+		h.deliverQ.push(delivery{src: src, msg: Message{Payload: r.payload, Bytes: r.bytes, Span: r.span}})
+		h.eng.After(h.overhead, "homa.deliver", h.deliverFn)
 		return
 	}
 	h.grantSRPT()
@@ -281,7 +295,17 @@ func minInt(a, b int) int {
 	return b
 }
 
+func (h *homaEndpoint) fireDeliver() {
+	d := h.deliverQ.pop()
+	if h.handler != nil {
+		h.handler(d.src, d.msg)
+	}
+}
+
 func (h *homaEndpoint) sendCtrl(dst netsim.Addr, m ctrlMsg) {
-	_ = h.nic.Send(netsim.Frame{Dst: dst, Payload: m, Bytes: headerBytes})
+	hdr := encodeCtrl(h.hdrs, m)
+	if err := h.nic.Send(netsim.Frame{Dst: dst, Buf: hdr, Bytes: headerBytes}); err != nil {
+		hdr.Release()
+	}
 	h.stats.CtrlFrames++
 }

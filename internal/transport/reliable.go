@@ -3,6 +3,8 @@ package transport
 import (
 	"hyperion/internal/netsim"
 	"hyperion/internal/sim"
+	"hyperion/internal/telemetry"
+	"hyperion/internal/wire"
 )
 
 // reliableParams differentiate the TCP-like software transport from the
@@ -30,14 +32,45 @@ type reliableEndpoint struct {
 	peers   map[netsim.Addr]*recvConn
 	cpuBusy sim.Time
 	nextID  uint64
+
+	hdrs      *wire.Pool
+	reasmFree []*reasm
+
+	sendQ     fifo[relSend]
+	txQ       fifo[relTx]
+	deliverQ  fifo[delivery]
+	sendFn    func()
+	txFn      func()
+	deliverFn func()
 }
 
+type relSend struct {
+	c     *sendConn
+	id    uint64
+	total int
+	msg   Message
+}
+
+type relTx struct {
+	dst     netsim.Addr
+	buf     *wire.Buf // retained for this transmission
+	wire    int
+	payload any
+	span    telemetry.RequestID
+}
+
+// outFrag is one unacked fragment buffered for retransmission: the
+// connection holds its own reference on the wire header until the
+// cumulative ack passes it.
 type outFrag struct {
-	frag dataFrag
-	wire int
+	buf     *wire.Buf
+	payload any
+	span    telemetry.RequestID
+	wire    int
 }
 
 type sendConn struct {
+	r        *reliableEndpoint
 	dst      netsim.Addr
 	base     uint64 // lowest unacked seq
 	nextSeq  uint64 // next seq to assign
@@ -45,6 +78,7 @@ type sendConn struct {
 	buf      map[uint64]outFrag
 	rtoTimer sim.EventRef
 	backoff  int
+	rtoFn    func() // prebound fireRTO, one per connection
 }
 
 type recvConn struct {
@@ -60,7 +94,11 @@ func newReliable(eng *sim.Engine, nic *netsim.NIC, kind Kind, p reliableParams) 
 		p:     p,
 		conns: make(map[netsim.Addr]*sendConn),
 		peers: make(map[netsim.Addr]*recvConn),
+		hdrs:  wire.NewPool(dataHdrLen),
 	}
+	r.sendFn = r.fireSend
+	r.txFn = r.fireTx
+	r.deliverFn = r.fireDeliver
 	nic.OnReceive(r.onFrame)
 	return r
 }
@@ -74,10 +112,26 @@ func (r *reliableEndpoint) OnMessage(fn func(src netsim.Addr, msg Message)) { r.
 func (r *reliableEndpoint) conn(dst netsim.Addr) *sendConn {
 	c, ok := r.conns[dst]
 	if !ok {
-		c = &sendConn{dst: dst, buf: make(map[uint64]outFrag)}
+		c = &sendConn{r: r, dst: dst, buf: make(map[uint64]outFrag)}
+		c.rtoFn = c.fireRTO
 		r.conns[dst] = c
 	}
 	return c
+}
+
+func (r *reliableEndpoint) getReasm(total, bytes int, span telemetry.RequestID) *reasm {
+	if n := len(r.reasmFree); n > 0 {
+		rm := r.reasmFree[n-1]
+		r.reasmFree = r.reasmFree[:n-1]
+		*rm = reasm{total: total, bytes: bytes, span: span}
+		return rm
+	}
+	return &reasm{total: total, bytes: bytes, span: span}
+}
+
+func (r *reliableEndpoint) putReasm(rm *reasm) {
+	rm.payload = nil
+	r.reasmFree = append(r.reasmFree, rm)
 }
 
 func (r *reliableEndpoint) Send(dst netsim.Addr, msg Message) error {
@@ -85,22 +139,26 @@ func (r *reliableEndpoint) Send(dst netsim.Addr, msg Message) error {
 		return ErrTooLarge
 	}
 	r.nextID++
-	id := r.nextID
 	c := r.conn(dst)
-	n := fragsFor(msg.Bytes)
 	r.stats.Sent++
-	r.eng.After(r.p.SendOverhead, "rel.send", func() {
-		for i := 0; i < n; i++ {
-			frag := dataFrag{MsgID: id, Index: i, Total: n, Bytes: msg.Bytes, Seq: c.nextSeq, Span: msg.Span}
-			if i == n-1 {
-				frag.Payload = msg.Payload
-			}
-			c.buf[c.nextSeq] = outFrag{frag: frag, wire: fragWire(msg.Bytes, i)}
-			c.nextSeq++
-		}
-		r.pump(c)
-	})
+	r.sendQ.push(relSend{c: c, id: r.nextID, total: fragsFor(msg.Bytes), msg: msg})
+	r.eng.After(r.p.SendOverhead, "rel.send", r.sendFn)
 	return nil
+}
+
+func (r *reliableEndpoint) fireSend() {
+	s := r.sendQ.pop()
+	c := s.c
+	for i := 0; i < s.total; i++ {
+		frag := dataFrag{MsgID: s.id, Index: i, Total: s.total, Bytes: s.msg.Bytes, Seq: c.nextSeq}
+		of := outFrag{buf: encodeData(r.hdrs, frag), span: s.msg.Span, wire: fragWire(s.msg.Bytes, i)}
+		if i == s.total-1 {
+			of.payload = s.msg.Payload
+		}
+		c.buf[c.nextSeq] = of
+		c.nextSeq++
+	}
+	r.pump(c)
 }
 
 // cpuDelay serializes per-frame software cost on the endpoint's one
@@ -137,51 +195,67 @@ func (r *reliableEndpoint) pump(c *sendConn) {
 
 func (r *reliableEndpoint) transmit(c *sendConn, of outFrag) {
 	d := r.cpuDelay()
-	send := func() {
-		_ = r.nic.Send(netsim.Frame{Dst: c.dst, Payload: of.frag, Bytes: of.wire, Span: of.frag.Span})
-		r.stats.DataFrames++
-	}
+	// The connection keeps its buffered reference for retransmission;
+	// each transmission hands the network its own.
+	tx := relTx{dst: c.dst, buf: of.buf.Retain(), wire: of.wire, payload: of.payload, span: of.span}
 	if d > 0 {
-		r.eng.After(d, "rel.tx", send)
+		// cpuBusy only moves forward, so queued transmissions fire in
+		// push order.
+		r.txQ.push(tx)
+		r.eng.After(d, "rel.tx", r.txFn)
 	} else {
-		send()
+		r.sendTx(tx)
 	}
+}
+
+func (r *reliableEndpoint) fireTx() { r.sendTx(r.txQ.pop()) }
+
+func (r *reliableEndpoint) sendTx(tx relTx) {
+	err := r.nic.Send(netsim.Frame{Dst: tx.dst, Payload: tx.payload, Buf: tx.buf, Bytes: tx.wire, Span: tx.span})
+	if err != nil {
+		tx.buf.Release() // the frame never left; take the reference back
+	}
+	r.stats.DataFrames++
 }
 
 func (r *reliableEndpoint) armRTO(c *sendConn) {
 	rto := r.p.RTO << uint(c.backoff)
-	c.rtoTimer = r.eng.After(rto, "rel.rto", func() {
-		c.rtoTimer = sim.NoEvent
-		if c.base >= c.nextSeq {
-			return
+	c.rtoTimer = r.eng.After(rto, "rel.rto", c.rtoFn)
+}
+
+func (c *sendConn) fireRTO() {
+	r := c.r
+	c.rtoTimer = sim.NoEvent
+	if c.base >= c.nextSeq {
+		return
+	}
+	// Go-back-N: retransmit the whole window from base.
+	if c.backoff < 6 {
+		c.backoff++
+	}
+	end := c.base + uint64(r.p.Window)
+	if end > c.nextSeq {
+		end = c.nextSeq
+	}
+	for s := c.base; s < end; s++ {
+		if of, ok := c.buf[s]; ok {
+			r.transmit(c, of)
+			r.stats.Retransmits++
 		}
-		// Go-back-N: retransmit the whole window from base.
-		if c.backoff < 6 {
-			c.backoff++
-		}
-		end := c.base + uint64(r.p.Window)
-		if end > c.nextSeq {
-			end = c.nextSeq
-		}
-		for s := c.base; s < end; s++ {
-			if of, ok := c.buf[s]; ok {
-				r.transmit(c, of)
-				r.stats.Retransmits++
-			}
-		}
-		c.sent = end
-		r.armRTO(c)
-	})
+	}
+	c.sent = end
+	r.armRTO(c)
 }
 
 func (r *reliableEndpoint) onFrame(f netsim.Frame) {
-	switch pl := f.Payload.(type) {
-	case ctrlMsg:
-		if pl.Op == ackOp {
-			r.onAck(f.Src, pl.Seq)
+	switch frameKind(f) {
+	case frameCtrl:
+		m := decodeCtrl(f.Buf.Bytes(), nil)
+		if m.Op == ackOp {
+			r.onAck(f.Src, m.Seq)
 		}
-	case dataFrag:
-		r.onData(f.Src, pl)
+	case frameData:
+		r.onData(f.Src, decodeData(f))
 	}
 }
 
@@ -194,7 +268,10 @@ func (r *reliableEndpoint) onAck(src netsim.Addr, cum uint64) {
 		return
 	}
 	for s := c.base; s < cum; s++ {
-		delete(c.buf, s)
+		if of, ok := c.buf[s]; ok {
+			of.buf.Release()
+			delete(c.buf, s)
+		}
 	}
 	c.base = cum
 	c.backoff = 0
@@ -226,7 +303,7 @@ func (r *reliableEndpoint) onData(src netsim.Addr, frag dataFrag) {
 func (r *reliableEndpoint) accept(src netsim.Addr, p *recvConn, frag dataFrag) {
 	rm, ok := p.partial[frag.MsgID]
 	if !ok {
-		rm = &reasm{total: frag.Total, bytes: frag.Bytes, span: frag.Span}
+		rm = r.getReasm(frag.Total, frag.Bytes, frag.Span)
 		p.partial[frag.MsgID] = rm
 	}
 	rm.have++
@@ -236,16 +313,23 @@ func (r *reliableEndpoint) accept(src netsim.Addr, p *recvConn, frag dataFrag) {
 	if rm.have == rm.total {
 		delete(p.partial, frag.MsgID)
 		r.stats.Delivered++
-		payload, bytes, span := rm.payload, rm.bytes, rm.span
-		r.eng.After(r.p.RecvOverhead, "rel.deliver", func() {
-			if r.handler != nil {
-				r.handler(src, Message{Payload: payload, Bytes: bytes, Span: span})
-			}
-		})
+		r.deliverQ.push(delivery{src: src, msg: Message{Payload: rm.payload, Bytes: rm.bytes, Span: rm.span}})
+		r.putReasm(rm)
+		r.eng.After(r.p.RecvOverhead, "rel.deliver", r.deliverFn)
+	}
+}
+
+func (r *reliableEndpoint) fireDeliver() {
+	d := r.deliverQ.pop()
+	if r.handler != nil {
+		r.handler(d.src, d.msg)
 	}
 }
 
 func (r *reliableEndpoint) sendCtrl(dst netsim.Addr, m ctrlMsg) {
-	_ = r.nic.Send(netsim.Frame{Dst: dst, Payload: m, Bytes: headerBytes})
+	hdr := encodeCtrl(r.hdrs, m)
+	if err := r.nic.Send(netsim.Frame{Dst: dst, Buf: hdr, Bytes: headerBytes}); err != nil {
+		hdr.Release()
+	}
 	r.stats.CtrlFrames++
 }

@@ -14,6 +14,7 @@ import (
 	"hyperion/internal/netsim"
 	"hyperion/internal/sim"
 	"hyperion/internal/telemetry"
+	"hyperion/internal/wire"
 )
 
 // Kind selects a transport protocol.
@@ -135,7 +136,8 @@ func fragWire(b, i int) int {
 	return FragBytes + headerBytes
 }
 
-// reasm reassembles in-order fragments into messages.
+// reasm reassembles in-order fragments into messages. Instances cycle
+// through a per-endpoint free list.
 type reasm struct {
 	have    int
 	total   int
@@ -144,7 +146,11 @@ type reasm struct {
 	span    telemetry.RequestID
 }
 
-// dataFrag is the payload of a data frame.
+// dataFrag is the decoded header of a data frame. It exists only as a
+// stack value around encode/decode — on the wire the fields live in
+// the frame's pooled wire.Buf (big-endian, see the offsets below), and
+// the application payload of the last fragment rides the frame's
+// Payload field by reference.
 type dataFrag struct {
 	MsgID   uint64
 	Index   int
@@ -155,7 +161,7 @@ type dataFrag struct {
 	Span    telemetry.RequestID
 }
 
-// ctrlMsg is the payload of a control frame.
+// ctrlMsg is the decoded header of a control frame.
 type ctrlMsg struct {
 	Op      uint8 // ackOp, grantOp, doneOp, resendOp
 	MsgID   uint64
@@ -169,3 +175,119 @@ const (
 	doneOp
 	resendOp
 )
+
+// Wire layout. One byte of frame kind, then big-endian fields at fixed
+// offsets; a ctrl frame's missing-fragment list is a BE32 count at
+// ctrlCountOff followed by that many BE32 indexes.
+const (
+	frameData uint8 = 1
+	frameCtrl uint8 = 2
+
+	kindOff      = 0
+	ctrlOpOff    = 1
+	msgIDOff     = 8
+	seqOff       = 16
+	bytesOff     = 24 // data frames
+	indexOff     = 28
+	totalOff     = 32
+	dataHdrLen   = 36
+	ctrlCountOff = 24 // ctrl frames
+	ctrlHdrLen   = 28
+)
+
+// encodeData fills a pooled buffer with frag's wire header. The caller
+// owns the returned reference.
+func encodeData(p *wire.Pool, frag dataFrag) *wire.Buf {
+	b := p.Get(dataHdrLen)
+	bs := b.Bytes()
+	bs[kindOff] = frameData
+	wire.PutBE64At(bs, msgIDOff, frag.MsgID)
+	wire.PutBE64At(bs, seqOff, frag.Seq)
+	wire.PutBE32At(bs, bytesOff, uint32(frag.Bytes))
+	wire.PutBE32At(bs, indexOff, uint32(frag.Index))
+	wire.PutBE32At(bs, totalOff, uint32(frag.Total))
+	return b
+}
+
+// decodeData rebuilds the header view from a received frame; Payload
+// and Span ride the frame itself.
+func decodeData(f netsim.Frame) dataFrag {
+	bs := f.Buf.Bytes()
+	return dataFrag{
+		MsgID:   wire.BE64At(bs, msgIDOff),
+		Seq:     wire.BE64At(bs, seqOff),
+		Bytes:   int(wire.BE32At(bs, bytesOff)),
+		Index:   int(wire.BE32At(bs, indexOff)),
+		Total:   int(wire.BE32At(bs, totalOff)),
+		Payload: f.Payload,
+		Span:    f.Span,
+	}
+}
+
+// encodeCtrl fills a pooled buffer with m's wire header.
+func encodeCtrl(p *wire.Pool, m ctrlMsg) *wire.Buf {
+	b := p.Get(ctrlHdrLen + 4*len(m.Missing))
+	bs := b.Bytes()
+	bs[kindOff] = frameCtrl
+	bs[ctrlOpOff] = m.Op
+	wire.PutBE64At(bs, msgIDOff, m.MsgID)
+	wire.PutBE64At(bs, seqOff, m.Seq)
+	wire.PutBE32At(bs, ctrlCountOff, uint32(len(m.Missing)))
+	for i, idx := range m.Missing {
+		wire.PutBE32At(bs, ctrlHdrLen+4*i, uint32(idx))
+	}
+	return b
+}
+
+// decodeCtrl rebuilds the header view, appending any missing-fragment
+// indexes to scratch (callers reuse a per-endpoint slice; the result's
+// Missing aliases it until the next decode).
+func decodeCtrl(bs []byte, scratch []int) ctrlMsg {
+	m := ctrlMsg{
+		Op:    bs[ctrlOpOff],
+		MsgID: wire.BE64At(bs, msgIDOff),
+		Seq:   wire.BE64At(bs, seqOff),
+	}
+	if n := int(wire.BE32At(bs, ctrlCountOff)); n > 0 {
+		scratch = scratch[:0]
+		for i := 0; i < n; i++ {
+			scratch = append(scratch, int(wire.BE32At(bs, ctrlHdrLen+4*i)))
+		}
+		m.Missing = scratch
+	}
+	return m
+}
+
+// frameKind classifies a received frame, ignoring anything without a
+// wire buffer (raw test frames, foreign traffic).
+func frameKind(f netsim.Frame) uint8 {
+	if f.Buf == nil || f.Buf.Len() < 1 {
+		return 0
+	}
+	return f.Buf.Bytes()[kindOff]
+}
+
+// fifo is a reusable FIFO of scheduled-event arguments: pushes append,
+// pops advance a head index, and the backing array is recycled once
+// drained, so steady-state traffic enqueues without allocating.
+// Transports pair it with a single prebound event function — correct
+// because each queue's events share one fixed delay, so firing order
+// matches push order.
+type fifo[T any] struct {
+	buf  []T
+	head int
+}
+
+func (q *fifo[T]) push(v T) { q.buf = append(q.buf, v) }
+
+func (q *fifo[T]) pop() T {
+	v := q.buf[q.head]
+	var zero T
+	q.buf[q.head] = zero // release references
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return v
+}

@@ -5,6 +5,7 @@ import (
 
 	"hyperion/internal/netsim"
 	"hyperion/internal/sim"
+	"hyperion/internal/wire"
 )
 
 // rig builds two endpoints of the same kind on a fresh network.
@@ -81,11 +82,20 @@ func TestManyMessagesInOrderReliable(t *testing.T) {
 	for _, kind := range []Kind{TCP, RDMA, Homa} {
 		t.Run(kind.String(), func(t *testing.T) {
 			eng, _, a, b := rig(t, kind)
+			// Payloads ride as *wire.Buf so ordering is verified on the
+			// zero-copy representation the rpc layer actually sends.
+			pool := wire.NewPool(8)
 			var got []int
-			b.OnMessage(func(_ netsim.Addr, m Message) { got = append(got, m.Payload.(int)) })
+			b.OnMessage(func(_ netsim.Addr, m Message) {
+				buf := m.Payload.(*wire.Buf)
+				got = append(got, int(wire.LE32At(buf.Bytes(), 0)))
+				buf.Release()
+			})
 			const n = 200
 			for i := 0; i < n; i++ {
-				if err := a.Send("b", Message{Payload: i, Bytes: 4096}); err != nil {
+				buf := pool.Get(4)
+				wire.PutLE32At(buf.Bytes(), 0, uint32(i))
+				if err := a.Send("b", Message{Payload: buf, Bytes: 4096}); err != nil {
 					t.Fatal(err)
 				}
 			}

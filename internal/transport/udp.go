@@ -1,10 +1,10 @@
 package transport
 
 import (
-	"fmt"
-
 	"hyperion/internal/netsim"
 	"hyperion/internal/sim"
+	"hyperion/internal/telemetry"
+	"hyperion/internal/wire"
 )
 
 // udpEndpoint is fire-and-forget: fragments go straight to the NIC; a
@@ -21,7 +21,38 @@ type udpEndpoint struct {
 
 	nextID  uint64
 	handler func(src netsim.Addr, msg Message)
-	partial map[string]*reasm
+	partial map[udpKey]*reasm
+
+	hdrs      *wire.Pool
+	reasmFree []*reasm
+
+	// Pending-event queues with prebound fire functions: each queue's
+	// events share one fixed delay, so pop order matches push order.
+	sendQ     fifo[udpSend]
+	gcQ       fifo[udpKey]
+	deliverQ  fifo[delivery]
+	sendFn    func()
+	gcFn      func()
+	deliverFn func()
+}
+
+type udpKey struct {
+	src netsim.Addr
+	id  uint64
+}
+
+type udpSend struct {
+	dst   netsim.Addr
+	id    uint64
+	total int
+	msg   Message
+}
+
+// delivery is one reassembled message awaiting its receive-overhead
+// event (shared with the reliable transports).
+type delivery struct {
+	src netsim.Addr
+	msg Message
 }
 
 func newUDP(eng *sim.Engine, nic *netsim.NIC) *udpEndpoint {
@@ -31,8 +62,12 @@ func newUDP(eng *sim.Engine, nic *netsim.NIC) *udpEndpoint {
 		sendOverhead: sim.Microsecond,
 		recvOverhead: sim.Microsecond,
 		reasmTimeout: 10 * sim.Millisecond,
-		partial:      make(map[string]*reasm),
+		partial:      make(map[udpKey]*reasm),
+		hdrs:         wire.NewPool(dataHdrLen),
 	}
+	u.sendFn = u.fireSend
+	u.gcFn = u.fireGC
+	u.deliverFn = u.fireDeliver
 	nic.OnReceive(u.onFrame)
 	return u
 }
@@ -43,45 +78,67 @@ func (u *udpEndpoint) Stats() *Stats     { return &u.stats }
 
 func (u *udpEndpoint) OnMessage(fn func(src netsim.Addr, msg Message)) { u.handler = fn }
 
+func (u *udpEndpoint) getReasm(total, bytes int, span telemetry.RequestID) *reasm {
+	if n := len(u.reasmFree); n > 0 {
+		r := u.reasmFree[n-1]
+		u.reasmFree = u.reasmFree[:n-1]
+		*r = reasm{total: total, bytes: bytes, span: span}
+		return r
+	}
+	return &reasm{total: total, bytes: bytes, span: span}
+}
+
+func (u *udpEndpoint) putReasm(r *reasm) {
+	r.payload = nil
+	u.reasmFree = append(u.reasmFree, r)
+}
+
 func (u *udpEndpoint) Send(dst netsim.Addr, msg Message) error {
 	if msg.Bytes > MaxMessageBytes {
 		return ErrTooLarge
 	}
 	u.nextID++
-	id := u.nextID
-	n := fragsFor(msg.Bytes)
 	u.stats.Sent++
-	u.eng.After(u.sendOverhead, "udp.send", func() {
-		for i := 0; i < n; i++ {
-			frag := dataFrag{MsgID: id, Index: i, Total: n, Bytes: msg.Bytes, Span: msg.Span}
-			if i == n-1 {
-				frag.Payload = msg.Payload
-			}
-			// Send errors mean the frame never left; UDP doesn't care.
-			_ = u.nic.Send(netsim.Frame{Dst: dst, Payload: frag, Bytes: fragWire(msg.Bytes, i), Span: frag.Span})
-			u.stats.DataFrames++
-		}
-	})
+	u.sendQ.push(udpSend{dst: dst, id: u.nextID, total: fragsFor(msg.Bytes), msg: msg})
+	u.eng.After(u.sendOverhead, "udp.send", u.sendFn)
 	return nil
 }
 
+func (u *udpEndpoint) fireSend() {
+	s := u.sendQ.pop()
+	for i := 0; i < s.total; i++ {
+		frag := dataFrag{MsgID: s.id, Index: i, Total: s.total, Bytes: s.msg.Bytes}
+		var payload any
+		if i == s.total-1 {
+			payload = s.msg.Payload
+		}
+		// Send errors mean the frame never left; UDP doesn't care — but
+		// the wire buffer stays ours on error and must go back.
+		hdr := encodeData(u.hdrs, frag)
+		err := u.nic.Send(netsim.Frame{
+			Dst: s.dst, Payload: payload, Buf: hdr,
+			Bytes: fragWire(s.msg.Bytes, i), Span: s.msg.Span,
+		})
+		if err != nil {
+			hdr.Release()
+		}
+		u.stats.DataFrames++
+	}
+}
+
 func (u *udpEndpoint) onFrame(f netsim.Frame) {
-	frag, ok := f.Payload.(dataFrag)
-	if !ok {
+	if frameKind(f) != frameData {
 		return
 	}
-	key := fmt.Sprintf("%s/%d", f.Src, frag.MsgID)
+	frag := decodeData(f)
+	key := udpKey{f.Src, frag.MsgID}
 	r, ok := u.partial[key]
 	if !ok {
-		r = &reasm{total: frag.Total, bytes: frag.Bytes, span: frag.Span}
+		r = u.getReasm(frag.Total, frag.Bytes, frag.Span)
 		u.partial[key] = r
 		// Garbage-collect incomplete messages: that is UDP loss.
-		u.eng.After(u.reasmTimeout, "udp.gc", func() {
-			if rr, still := u.partial[key]; still && rr.have < rr.total {
-				delete(u.partial, key)
-				u.stats.LostMessages++
-			}
-		})
+		u.gcQ.push(key)
+		u.eng.After(u.reasmTimeout, "udp.gc", u.gcFn)
 	}
 	r.have++
 	if frag.Payload != nil {
@@ -90,12 +147,24 @@ func (u *udpEndpoint) onFrame(f netsim.Frame) {
 	if r.have == r.total {
 		delete(u.partial, key)
 		u.stats.Delivered++
-		src := f.Src
-		payload, bytes, span := r.payload, r.bytes, r.span
-		u.eng.After(u.recvOverhead, "udp.deliver", func() {
-			if u.handler != nil {
-				u.handler(src, Message{Payload: payload, Bytes: bytes, Span: span})
-			}
-		})
+		u.deliverQ.push(delivery{src: f.Src, msg: Message{Payload: r.payload, Bytes: r.bytes, Span: r.span}})
+		u.putReasm(r)
+		u.eng.After(u.recvOverhead, "udp.deliver", u.deliverFn)
+	}
+}
+
+func (u *udpEndpoint) fireGC() {
+	key := u.gcQ.pop()
+	if r, still := u.partial[key]; still && r.have < r.total {
+		delete(u.partial, key)
+		u.putReasm(r)
+		u.stats.LostMessages++
+	}
+}
+
+func (u *udpEndpoint) fireDeliver() {
+	d := u.deliverQ.pop()
+	if u.handler != nil {
+		u.handler(d.src, d.msg)
 	}
 }

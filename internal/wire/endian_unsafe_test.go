@@ -1,0 +1,25 @@
+//go:build !wiresafe
+
+package wire
+
+import "testing"
+
+// The unsafe decode path is only correct on little-endian hosts; these
+// tests pin the fail-loudly contract the build relies on.
+
+func TestHostIsLittleEndian(t *testing.T) {
+	// If this fails the init guard should already have panicked; it
+	// documents the supported host set for the unsafe build.
+	if !hostLittleEndian() {
+		t.Fatal("unsafe build running on a big-endian host; init guard failed to fire")
+	}
+}
+
+func TestMustLittleEndianPanicsOnBigEndian(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mustLittleEndian(false) did not panic: a big-endian host would silently decode swapped values")
+		}
+	}()
+	mustLittleEndian(false)
+}

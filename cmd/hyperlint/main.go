@@ -11,6 +11,8 @@
 // build caching, -flags for flag discovery, and a *.cfg JSON file
 // describing one compilation unit per invocation. Diagnostics print as
 // file:line:col: messages; the exit status is 1 when anything fired.
+// Standalone mode additionally supports -json, which emits the full
+// finding list as a JSON array on stdout for CI annotation tooling.
 package main
 
 import (
@@ -54,6 +56,7 @@ func main() {
 
 	checks := flag.String("checks", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout (machine-readable)")
 	flag.Parse()
 
 	suite, err := checkers.Select(splitNonEmpty(*checks))
@@ -89,6 +92,7 @@ func main() {
 		os.Exit(2)
 	}
 	exit := 0
+	all := make([]jsonFinding, 0)
 	for _, pkg := range pkgs {
 		findings, err := analysis.RunAnalyzers(pkg, suite)
 		if err != nil {
@@ -96,11 +100,39 @@ func main() {
 			os.Exit(2)
 		}
 		for _, f := range findings {
-			fmt.Printf("%s: [%s] %s\n", f.Position, f.Check, f.Message)
+			if *jsonOut {
+				all = append(all, jsonFinding{
+					File:    f.Position.Filename,
+					Line:    f.Position.Line,
+					Col:     f.Position.Column,
+					Check:   f.Check,
+					Message: f.Message,
+				})
+			} else {
+				fmt.Printf("%s: [%s] %s\n", f.Position, f.Check, f.Message)
+			}
 			exit = 1
 		}
 	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(all); err != nil {
+			log("%v", err)
+			os.Exit(2)
+		}
+	}
 	os.Exit(exit)
+}
+
+// jsonFinding is the -json output record: one diagnostic, stable field
+// names for CI annotation tooling.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
 }
 
 func splitNonEmpty(s string) []string {

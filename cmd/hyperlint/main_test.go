@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"os"
 	"os/exec"
@@ -69,7 +70,10 @@ func TestStandaloneExitCodes(t *testing.T) {
 		{"findings fail", []string{"./cmd/hyperlint/testdata/bad"}, 1, "[nodeterm]"},
 		{"checks filter passes clean", []string{"-checks", "maprange", "./cmd/hyperlint/testdata/bad"}, 0, ""},
 		{"list analyzers", []string{"-list"}, 0, "nodeterm"},
+		{"list includes flow checks", []string{"-list"}, 0, "bufown"},
 		{"unknown analyzer", []string{"-checks", "nosuchcheck", "./internal/fault"}, 2, "nosuchcheck"},
+		{"json clean is empty array", []string{"-json", "./internal/fault"}, 0, "[]"},
+		{"json findings still exit 1", []string{"-json", "./cmd/hyperlint/testdata/bad"}, 1, `"check": "nodeterm"`},
 	} {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
@@ -82,5 +86,35 @@ func TestStandaloneExitCodes(t *testing.T) {
 				t.Fatalf("output missing %q:\n%s", tc.wantOut, out)
 			}
 		})
+	}
+}
+
+// TestJSONOutputDecodes locks the -json record shape: CI annotation
+// tooling depends on the file/line/col/check/message field names.
+func TestJSONOutputDecodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("standalone mode type-checks packages")
+	}
+	out, exit := run(t, "-json", "./cmd/hyperlint/testdata/bad")
+	if exit != 1 {
+		t.Fatalf("exit = %d, want 1; output:\n%s", exit, out)
+	}
+	var findings []struct {
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Col     int    `json:"col"`
+		Check   string `json:"check"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(out), &findings); err != nil {
+		t.Fatalf("decoding -json output: %v\n%s", err, out)
+	}
+	if len(findings) == 0 {
+		t.Fatal("no findings decoded from known-bad fixture")
+	}
+	for _, f := range findings {
+		if f.File == "" || f.Line == 0 || f.Check == "" || f.Message == "" {
+			t.Fatalf("incomplete finding record: %+v", f)
+		}
 	}
 }

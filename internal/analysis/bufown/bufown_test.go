@@ -1,0 +1,13 @@
+package bufown_test
+
+import (
+	"testing"
+
+	"hyperion/internal/analysis/analysistest"
+	"hyperion/internal/analysis/bufown"
+)
+
+func TestBufown(t *testing.T) {
+	analysistest.Run(t, "../testdata", bufown.Analyzer,
+		"bufown", "bufown_harness")
+}

@@ -7,10 +7,13 @@ import (
 	"fmt"
 
 	"hyperion/internal/analysis"
+	"hyperion/internal/analysis/bufown"
 	"hyperion/internal/analysis/eventref"
 	"hyperion/internal/analysis/maprange"
 	"hyperion/internal/analysis/nodeterm"
+	"hyperion/internal/analysis/sharedstate"
 	"hyperion/internal/analysis/simtime"
+	"hyperion/internal/analysis/spanpair"
 	"hyperion/internal/analysis/unsafeptr"
 )
 
@@ -22,6 +25,9 @@ func All() []*analysis.Analyzer {
 		eventref.Analyzer,
 		simtime.Analyzer,
 		unsafeptr.Analyzer,
+		bufown.Analyzer,
+		spanpair.Analyzer,
+		sharedstate.Analyzer,
 	}
 }
 

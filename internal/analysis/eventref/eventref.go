@@ -19,12 +19,28 @@
 //   - storing At/After results in package-level variables: engines are
 //     per-experiment and run concurrently in the parallel harness, so
 //     global timer state corrupts whichever engine touches it second.
+//
+// The datapath pools its per-operation contexts (rpc's call/serveCtx,
+// nvmeof's opCtx) on free lists with prebound callback fields, which
+// opens two more recycle hazards the analyzer covers:
+//
+//   - pushing an object whose struct carries EventRef fields onto a
+//     free list (the `x.fooFree = append(x.fooFree, obj)` idiom — any
+//     slice whose name ends in "Free") without first resetting those
+//     fields, either per-field or with a whole-struct `*obj = T{...}`
+//     write: the recycled instance inherits a stale handle;
+//   - discarding the EventRef returned by At/After when the callback
+//     is prebound on a pooled instance (a method value or func-typed
+//     field like op.retryFn): once the instance recycles, the pending
+//     timer still fires into it, and without the ref nobody can
+//     Cancel it first.
 package eventref
 
 import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 
 	"hyperion/internal/analysis"
 )
@@ -42,7 +58,13 @@ func run(pass *analysis.Pass) error {
 	if pass.Layer != analysis.LayerModel || pass.Path == simPath {
 		return nil
 	}
+	pooled := pooledStructs(pass)
 	for _, f := range pass.NonTestFiles() {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkPooled(pass, fd.Body, pooled)
+			}
+		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.StarExpr:
@@ -155,6 +177,153 @@ func resetLater(pass *analysis.Pass, stmts []ast.Stmt, path string) bool {
 			return true
 		})
 	}
+	return found
+}
+
+// pooledStructs collects the named struct types that cycle through a
+// free list anywhere in the package: an `append(x, obj)` whose slice
+// expression's name ends in "Free" (the repo's pooling idiom) marks
+// obj's pointee type as pooled.
+func pooledStructs(pass *analysis.Pass) map[*types.Named]bool {
+	pooled := make(map[*types.Named]bool)
+	for _, f := range pass.NonTestFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isFreeListAppend(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args[1:] {
+				if named := pointeeStruct(typeOf(pass, arg)); named != nil {
+					pooled[named] = true
+				}
+			}
+			return true
+		})
+	}
+	return pooled
+}
+
+// isFreeListAppend matches `append(<...Free>, obj...)`.
+func isFreeListAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := analysis.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" || len(call.Args) < 2 {
+		return false
+	}
+	if _, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok {
+		return false
+	}
+	slicePath := analysis.ExprString(call.Args[0])
+	return strings.HasSuffix(strings.ToLower(slicePath), "free")
+}
+
+// pointeeStruct returns the named struct behind a *T type, or nil.
+func pointeeStruct(t types.Type) *types.Named {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return nil
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return nil
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return nil
+	}
+	return named
+}
+
+// eventRefFields returns the names of named's direct EventRef fields.
+func eventRefFields(named *types.Named) []string {
+	st := named.Underlying().(*types.Struct)
+	var out []string
+	for i := 0; i < st.NumFields(); i++ {
+		if isEventRef(st.Field(i).Type()) {
+			out = append(out, st.Field(i).Name())
+		}
+	}
+	return out
+}
+
+// checkPooled enforces the two free-list recycle rules inside one
+// function body: EventRef fields must be reset before an instance is
+// pushed to a free list, and At/After results must not be discarded
+// when the callback is prebound on a pooled instance.
+func checkPooled(pass *analysis.Pass, body *ast.BlockStmt, pooled map[*types.Named]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if !isFreeListAppend(pass, n) {
+				return true
+			}
+			for _, arg := range n.Args[1:] {
+				named := pointeeStruct(typeOf(pass, arg))
+				if named == nil {
+					continue
+				}
+				objPath := analysis.ExprString(arg)
+				if objPath == "" {
+					continue
+				}
+				for _, field := range eventRefFields(named) {
+					if !resetBefore(body, n.Pos(), objPath, field) {
+						pass.Reportf(n.Pos(), "pooled %s is pushed to a free list with EventRef field %s unreset: assign sim.NoEvent (or reset the whole struct) so the recycled instance does not inherit a stale handle", objPath, field)
+					}
+				}
+			}
+		case *ast.ExprStmt:
+			call, ok := analysis.Unparen(n.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := "After"
+			args := engineMethod(pass, call, "After")
+			if args == nil {
+				name = "At"
+				args = engineMethod(pass, call, "At")
+			}
+			if len(args) != 3 {
+				return true
+			}
+			cb, ok := analysis.Unparen(args[2]).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			named := pointeeStruct(typeOf(pass, cb.X))
+			if named == nil || !pooled[named] {
+				return true
+			}
+			pass.Reportf(call.Pos(), "EventRef from %s is discarded but its callback %s is prebound on pooled %s: store the ref so the timer can be cancelled before the instance recycles", name, analysis.ExprString(cb), named.Obj().Name())
+		}
+		return true
+	})
+}
+
+// resetBefore reports whether any assignment lexically before pos in
+// body writes objPath.field or the whole struct *objPath.
+func resetBefore(body *ast.BlockStmt, pos token.Pos, objPath, field string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Pos() >= pos {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			lhs = analysis.Unparen(lhs)
+			if se, ok := lhs.(*ast.StarExpr); ok {
+				if analysis.ExprString(se.X) == objPath {
+					found = true
+				}
+				continue
+			}
+			if analysis.ExprString(lhs) == objPath+"."+field {
+				found = true
+			}
+		}
+		return true
+	})
 	return found
 }
 

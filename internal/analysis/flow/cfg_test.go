@@ -1,0 +1,397 @@
+package flow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildSrc parses one function body and builds its CFG.
+func buildSrc(t *testing.T, body string) (*Graph, *token.FileSet) {
+	t.Helper()
+	src := "package p\n\nfunc f() error {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	return Build(fd.Body, nil), fset
+}
+
+// TestCFGDump pins the block structure for the shapes the ownership
+// checks lean on: early returns, short-circuit conditions, loops with
+// error-path releases, defer chains, switches, and panic terminators.
+func TestCFGDump(t *testing.T) {
+	tests := []struct {
+		name string
+		body string
+		want string
+	}{
+		{
+			name: "early_return",
+			body: `
+	b := get()
+	if bad {
+		return errBad
+	}
+	b.Release()
+	return nil`,
+			want: `b0 entry:
+	b := get()
+	bad
+	-> b2 [true bad]
+	-> b3 [false bad]
+b1 return:
+	-> b8
+b2 if.then:
+	return errBad
+	-> b1
+b3 if.after:
+	b.Release()
+	return nil
+	-> b1
+b8 exit:
+`,
+		},
+		{
+			name: "short_circuit",
+			body: `
+	if a && (b || !c) {
+		hit()
+	} else {
+		miss()
+	}
+	return nil`,
+			want: `b0 entry:
+	a
+	-> b5 [true a]
+	-> b4 [false a]
+b1 return:
+	-> b12
+b2 if.then:
+	hit()
+	-> b3
+b3 if.after:
+	return nil
+	-> b1
+b4 if.else:
+	miss()
+	-> b3
+b5 cond.and:
+	b
+	-> b2 [true b]
+	-> b7 [false b]
+b7 cond.or:
+	c
+	-> b4 [true c]
+	-> b2 [false c]
+b12 exit:
+`,
+		},
+		{
+			name: "loop_with_error_path",
+			body: `
+	for i := 0; i < n; i++ {
+		hdr := enc(i)
+		if err := send(hdr); err != nil {
+			hdr.Release()
+			continue
+		}
+	}
+	return nil`,
+			want: `b0 entry:
+	i := 0
+	-> b2
+b1 return:
+	-> b13
+b2 for.head:
+	i < n
+	-> b3 [true i < n]
+	-> b4 [false i < n]
+b3 for.body:
+	hdr := enc(i)
+	err := send(hdr)
+	err != nil
+	-> b7 [true err != nil]
+	-> b8 [false err != nil]
+b4 for.after:
+	return nil
+	-> b1
+b5 for.post:
+	i++
+	-> b2
+b7 if.then:
+	hdr.Release()
+	continue
+	-> b5
+b8 if.after:
+	-> b5
+b13 exit:
+`,
+		},
+		{
+			name: "defer_chain",
+			body: `
+	b := get()
+	defer b.Release()
+	defer func() {
+		sp.End(now())
+	}()
+	if bad {
+		return errBad
+	}
+	return nil`,
+			want: `b0 entry:
+	b := get()
+	defer b.Release()
+	defer func() { sp.End(now()) }()
+	bad
+	-> b2 [true bad]
+	-> b3 [false bad]
+b1 return:
+	-> b8
+b2 if.then:
+	return errBad
+	-> b1
+b3 if.after:
+	return nil
+	-> b1
+b8 defer:
+	sp.End(now())
+	-> b9
+b9 defer:
+	b.Release()
+	-> b10
+b10 exit:
+`,
+		},
+		{
+			name: "switch_fallthrough_panic",
+			body: `
+	switch k {
+	case 1:
+		one()
+		fallthrough
+	case 2:
+		two()
+	default:
+		panic("unreachable kind")
+	}
+	return nil`,
+			want: `b0 entry:
+	k
+	-> b3
+	-> b4
+	-> b5
+b1 return:
+	-> b10
+b2 switch.after:
+	return nil
+	-> b1
+b3 case:
+	1
+	one()
+	fallthrough
+	-> b4
+b4 case:
+	2
+	two()
+	-> b2
+b5 default:
+	panic("unreachable kind")
+b10 exit:
+`,
+		},
+		{
+			name: "range_break_continue",
+			body: `
+	for _, x := range xs {
+		if skip(x) {
+			continue
+		}
+		if stop(x) {
+			break
+		}
+		use(x)
+	}
+	return nil`,
+			want: `b0 entry:
+	-> b2
+b1 return:
+	-> b15
+b2 range.head:
+	for _, x := range xs { if skip(x) { continue } if stop(x)...
+	-> b3
+	-> b4
+b3 range.body:
+	skip(x)
+	-> b5 [true skip(x)]
+	-> b6 [false skip(x)]
+b4 range.after:
+	return nil
+	-> b1
+b5 if.then:
+	continue
+	-> b2
+b6 if.after:
+	stop(x)
+	-> b9 [true stop(x)]
+	-> b10 [false stop(x)]
+b9 if.then:
+	break
+	-> b4
+b10 if.after:
+	use(x)
+	-> b2
+b15 exit:
+`,
+		},
+		{
+			name: "labeled_break",
+			body: `
+outer:
+	for {
+		for {
+			if done() {
+				break outer
+			}
+			step()
+		}
+	}
+	return nil`,
+			want: `b0 entry:
+	-> b2
+b1 return:
+	-> b16
+b2 for.head:
+	-> b3
+b3 for.body:
+	-> b6
+b4 for.after:
+	return nil
+	-> b1
+b6 for.head:
+	-> b7
+b7 for.body:
+	done()
+	-> b10 [true done()]
+	-> b11 [false done()]
+b10 if.then:
+	break outer
+	-> b4
+b11 if.after:
+	step()
+	-> b6
+b16 exit:
+`,
+		},
+		{
+			name: "select",
+			body: `
+	select {
+	case v := <-ch:
+		use(v)
+	default:
+		idle()
+	}
+	return nil`,
+			want: `b0 entry:
+	-> b3
+	-> b4
+b1 return:
+	-> b7
+b2 select.after:
+	return nil
+	-> b1
+b3 comm:
+	v := <-ch
+	use(v)
+	-> b2
+b4 comm:
+	idle()
+	-> b2
+b7 exit:
+`,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g, fset := buildSrc(t, tt.body)
+			got := g.Dump(fset)
+			if got != tt.want {
+				t.Errorf("CFG mismatch\n--- got ---\n%s--- want ---\n%s", got, tt.want)
+			}
+		})
+	}
+}
+
+// TestCFGExitReachable asserts structural invariants on arbitrary
+// shapes: exactly one Exit, every reachable non-terminator block leads
+// somewhere, and Preds mirror Succs.
+func TestCFGExitReachable(t *testing.T) {
+	bodies := []string{
+		"return nil",
+		"for { spin() }",
+		"if a { return nil }\nreturn errBad",
+		"goto done\ndone:\n\treturn nil",
+		"panic(\"boom\")",
+	}
+	for i, body := range bodies {
+		g, _ := buildSrc(t, body)
+		if g.Exit == nil {
+			t.Fatalf("body %d: nil Exit", i)
+		}
+		for _, blk := range g.Blocks {
+			for _, e := range blk.Succs {
+				found := false
+				for _, p := range e.To.Preds {
+					if p == blk {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("body %d: edge b%d->b%d missing Pred backlink", i, blk.Index, e.To.Index)
+				}
+			}
+		}
+	}
+}
+
+// TestCFGDeterministic rebuilds the same body and compares dumps:
+// block numbering and edge order must be stable.
+func TestCFGDeterministic(t *testing.T) {
+	body := `
+	for i := 0; i < n; i++ {
+		if a || b {
+			defer cleanup()
+			return nil
+		}
+	}
+	return errBad`
+	g1, fs1 := buildSrc(t, body)
+	g2, fs2 := buildSrc(t, body)
+	if d1, d2 := g1.Dump(fs1), g2.Dump(fs2); d1 != d2 {
+		t.Errorf("nondeterministic dump:\n%s\nvs\n%s", d1, d2)
+	}
+}
+
+func TestNodeStringTruncates(t *testing.T) {
+	fset := token.NewFileSet()
+	long := "x := " + strings.Repeat("f(", 30) + "1" + strings.Repeat(")", 30)
+	file, err := parser.ParseFile(fset, "t.go", "package p\nfunc f() {\n"+long+"\n}\n", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmt := file.Decls[0].(*ast.FuncDecl).Body.List[0]
+	s := nodeString(fset, stmt)
+	if len(s) > 60 {
+		t.Errorf("nodeString too long: %d chars %q", len(s), s)
+	}
+	if !strings.HasSuffix(s, "...") {
+		t.Errorf("expected truncation marker, got %q", s)
+	}
+}

@@ -1,0 +1,74 @@
+package flow
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Path returns the tracking key of an lvalue-ish expression: a dotted
+// selector path of depth at most two ("hdr", "op.capsule") rooted at a
+// function-local variable (parameters included). Anything else —
+// package-level variables, map/index expressions, deeper chains, calls
+// — returns "" and is not tracked; flow-sensitive obligations on such
+// locations would need alias analysis to be sound.
+func Path(info *types.Info, pkg *types.Package, e ast.Expr) string {
+	e = unparen(e)
+	switch e := e.(type) {
+	case *ast.Ident:
+		if isLocalVar(info, pkg, e) {
+			return e.Name
+		}
+	case *ast.SelectorExpr:
+		base, ok := unparen(e.X).(*ast.Ident)
+		if !ok || !isLocalVar(info, pkg, base) {
+			return ""
+		}
+		// The selector must be a field access, not a package qualifier
+		// or a method value.
+		if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			return base.Name + "." + e.Sel.Name
+		}
+	}
+	return ""
+}
+
+// isLocalVar reports whether id names a function-local variable or
+// parameter (not a package-level var, constant, field shorthand, or
+// package name).
+func isLocalVar(info *types.Info, pkg *types.Package, id *ast.Ident) bool {
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return false
+	}
+	if pkg != nil && v.Parent() == pkg.Scope() {
+		return false
+	}
+	return true
+}
+
+// NilComparand matches one side of a binary comparison being the
+// predeclared nil and the other a plain identifier, returning the
+// identifier's name. Used by checks refining state on `err != nil`
+// branches.
+func NilComparand(x, y ast.Expr) (string, bool) {
+	if name, ok := identVsNil(x, y); ok {
+		return name, true
+	}
+	return identVsNil(y, x)
+}
+
+func identVsNil(id, nilSide ast.Expr) (string, bool) {
+	i, ok := unparen(id).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	n, ok := unparen(nilSide).(*ast.Ident)
+	if !ok || n.Name != "nil" {
+		return "", false
+	}
+	return i.Name, true
+}

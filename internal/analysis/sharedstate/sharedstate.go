@@ -1,0 +1,174 @@
+// Package sharedstate enforces the static precondition for sharding
+// sim.Engine across cores (ROADMAP's rack-scale PDES item): model-layer
+// packages must not carry package-level mutable state, and must not
+// park engine or event handles in package scope.
+//
+// Two rules, model layer only (the sim package itself is exempt — it
+// owns the engine):
+//
+//   - a package-level variable must not be written outside its
+//     declaration or an init function. Read-only lookup tables and
+//     error sentinels pass; counters, caches, registries and
+//     last-winner scratch variables fail, because two engines sharded
+//     onto different cores would race or — worse for this repo —
+//     deterministically corrupt each other.
+//   - a package-level variable whose type contains sim.EventRef or
+//     *sim.Engine is flagged at its declaration: cross-engine
+//     references must live per-instance so each shard's reachability
+//     is closed over its own engine.
+package sharedstate
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"hyperion/internal/analysis"
+)
+
+// Analyzer is the sharedstate pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "sharedstate",
+	Doc:  "model packages must not hold package-level mutable state or cross-engine references",
+	Run:  run,
+}
+
+const simPath = analysis.ModulePath + "/internal/sim"
+
+func run(pass *analysis.Pass) error {
+	if pass.Layer != analysis.LayerModel || pass.Path == simPath {
+		return nil
+	}
+	for _, f := range pass.NonTestFiles() {
+		// Rule 2: engine-typed package state, at the declaration.
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					v, ok := pass.TypesInfo.Defs[name].(*types.Var)
+					if !ok || v.Parent() != pass.Pkg.Scope() {
+						continue
+					}
+					if bad := engineRef(v.Type()); bad != "" {
+						pass.Reportf(name.Pos(), "package-level var %s holds %s: engine-scoped handles must live per-instance so sim.Engine can shard", name.Name, bad)
+					}
+				}
+			}
+		}
+		// Rule 1: writes outside declarations and init.
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Recv == nil && fd.Name.Name == "init" {
+				continue // build-time table construction is fine
+			}
+			checkWrites(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkWrites reports assignments, op-assignments, increments and
+// element/field stores whose base resolves to a package-level var.
+func checkWrites(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				reportPkgWrite(pass, lhs, n.Pos())
+			}
+		case *ast.IncDecStmt:
+			reportPkgWrite(pass, n.X, n.Pos())
+		}
+		return true
+	})
+}
+
+func reportPkgWrite(pass *analysis.Pass, lhs ast.Expr, pos token.Pos) {
+	id := baseIdent(lhs)
+	if id == nil {
+		return
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Parent() != pass.Pkg.Scope() {
+		return
+	}
+	pass.Reportf(pos, "package-level var %s is mutated in model code: state must live per-instance so sim.Engine can shard", id.Name)
+}
+
+// baseIdent peels selectors, indexes, stars and parens down to the
+// root identifier of an lvalue.
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// engineRef reports whether t transitively contains sim.EventRef or
+// *sim.Engine, returning a human name for the offending component.
+func engineRef(t types.Type) string {
+	return engineRefSeen(t, make(map[types.Type]bool))
+}
+
+func engineRefSeen(t types.Type, seen map[types.Type]bool) string {
+	if t == nil || seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if analysis.IsNamed(t, simPath, "EventRef") {
+		return "sim.EventRef"
+	}
+	switch t := t.(type) {
+	case *types.Pointer:
+		if analysis.IsNamed(t.Elem(), simPath, "Engine") {
+			return "*sim.Engine"
+		}
+		return engineRefSeen(t.Elem(), seen)
+	case *types.Named:
+		return engineRefSeen(t.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if bad := engineRefSeen(t.Field(i).Type(), seen); bad != "" {
+				return bad
+			}
+		}
+	case *types.Slice:
+		return engineRefSeen(t.Elem(), seen)
+	case *types.Array:
+		return engineRefSeen(t.Elem(), seen)
+	case *types.Map:
+		if bad := engineRefSeen(t.Key(), seen); bad != "" {
+			return bad
+		}
+		return engineRefSeen(t.Elem(), seen)
+	case *types.Chan:
+		return engineRefSeen(t.Elem(), seen)
+	}
+	return ""
+}

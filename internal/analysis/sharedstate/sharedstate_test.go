@@ -1,0 +1,13 @@
+package sharedstate_test
+
+import (
+	"testing"
+
+	"hyperion/internal/analysis/analysistest"
+	"hyperion/internal/analysis/sharedstate"
+)
+
+func TestSharedstate(t *testing.T) {
+	analysistest.Run(t, "../testdata", sharedstate.Analyzer,
+		"sharedstate", "sharedstate_harness")
+}

@@ -1,0 +1,12 @@
+package spanpair_test
+
+import (
+	"testing"
+
+	"hyperion/internal/analysis/analysistest"
+	"hyperion/internal/analysis/spanpair"
+)
+
+func TestSpanpair(t *testing.T) {
+	analysistest.Run(t, "../testdata", spanpair.Analyzer, "spanpair")
+}

@@ -1,0 +1,23 @@
+// Package bufown_harness proves bufown runs on every layer: a leaked
+// wire.Buf in harness code is just as much a memory bug as in model
+// code, so the _harness suffix does not exempt it.
+package bufown_harness
+
+import "hyperion/internal/wire"
+
+var pool = wire.NewPool(64)
+
+func leakInHarness(bad bool) int {
+	b := pool.Get(8) // want `b is not released on every path`
+	if bad {
+		return 0
+	}
+	n := b.Len()
+	b.Release()
+	return n
+}
+
+func balancedInHarness() {
+	b := pool.Get(8)
+	b.Release()
+}

@@ -59,3 +59,59 @@ func (d *dev) suppressedCompare(a sim.EventRef) bool {
 	//hyperlint:allow(eventref) golden test: zero-ref comparison is deliberate here
 	return a == sim.NoEvent
 }
+
+// Pooled-object recycle hazards: free-list pushes and prebound
+// timer callbacks.
+
+type pooledOp struct {
+	eng     *sim.Engine
+	timer   sim.EventRef
+	retryFn func()
+}
+
+type opPool struct {
+	opFree []*pooledOp
+}
+
+func (h *opPool) putUnreset(op *pooledOp) {
+	h.opFree = append(h.opFree, op) // want `EventRef field timer unreset`
+}
+
+func (h *opPool) putFieldReset(op *pooledOp) {
+	op.timer = sim.NoEvent
+	h.opFree = append(h.opFree, op)
+}
+
+func (h *opPool) putWholeReset(op *pooledOp) {
+	*op = pooledOp{eng: op.eng, retryFn: op.retryFn}
+	h.opFree = append(h.opFree, op)
+}
+
+func (op *pooledOp) tick() {}
+
+func (op *pooledOp) rearmDiscardedField(d sim.Duration) {
+	op.eng.After(d, "retry", op.retryFn) // want `callback op\.retryFn is prebound on pooled pooledOp`
+}
+
+func (op *pooledOp) rearmDiscardedMethodValue(d sim.Duration) {
+	op.eng.After(d, "retry", op.tick) // want `callback op\.tick is prebound on pooled pooledOp`
+}
+
+func (op *pooledOp) rearmStored(d sim.Duration) {
+	op.timer = op.eng.After(d, "retry", op.retryFn)
+}
+
+func (op *pooledOp) closureDiscardIsFine(d sim.Duration) {
+	op.eng.After(d, "fire", func() {}) // fire-and-forget closure: no finding
+}
+
+// oneshot never cycles through a free list, so a discarded prebound
+// callback cannot outlive its instance's identity.
+type oneshot struct {
+	eng *sim.Engine
+	fn  func()
+}
+
+func (o *oneshot) fire(d sim.Duration) {
+	o.eng.After(d, "fire", o.fn)
+}

@@ -1,0 +1,63 @@
+// Package sharedstate is hyperlint golden-test input: package-level
+// mutable state and cross-engine references in model code.
+package sharedstate
+
+import (
+	"errors"
+
+	"hyperion/internal/sim"
+)
+
+// Read-only tables and error sentinels are fine.
+var errBad = errors.New("bad")
+
+var opNames = map[int]string{1: "read"}
+
+var hits int64
+
+func bump() {
+	hits++ // want `package-level var hits is mutated in model code`
+}
+
+var last string
+
+func record(s string) {
+	last = s // want `package-level var last is mutated in model code`
+}
+
+var cache = map[string]int{}
+
+func memo(k string) {
+	cache[k] = 1 // want `package-level var cache is mutated in model code`
+}
+
+func init() {
+	opNames[2] = "write" // build-time table construction is allowed
+}
+
+func localShadowIsFine() int {
+	hits := 0
+	hits++
+	return hits
+}
+
+func fieldOfLocalIsFine() {
+	type box struct{ n int }
+	var b box
+	b.n = 1
+	_ = b
+}
+
+var lastEngine *sim.Engine // want `holds \*sim\.Engine`
+
+var watchdog sim.EventRef // want `holds sim\.EventRef`
+
+type regEntry struct {
+	ref sim.EventRef
+}
+
+var registry []regEntry // want `holds sim\.EventRef`
+
+func useAll() (any, any, any, any) {
+	return errBad, lastEngine, watchdog, registry
+}

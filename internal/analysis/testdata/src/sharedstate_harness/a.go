@@ -1,0 +1,18 @@
+// Package sharedstate_harness proves the sharedstate layer gate:
+// harness code (the _harness suffix) may keep package-level counters —
+// it is not sharded across engines.
+package sharedstate_harness
+
+import "hyperion/internal/sim"
+
+var hits int64
+
+var lastEngine *sim.Engine
+
+func bump() {
+	hits++ // harness layer: no finding
+}
+
+func park(e *sim.Engine) {
+	lastEngine = e
+}

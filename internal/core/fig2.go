@@ -127,6 +127,7 @@ func (c *fig2Ctx) onRead(data []byte, st uint16) {
 	// Stage 4: response egress serialization on QSFP.
 	respBytes := len(data) + 64
 	egress := sim.Duration(float64(respBytes) / 12.5e9 * float64(sim.Second))
+	//hyperlint:allow(eventref) one-shot stage event: its own firing is the only thing that recycles c, so there is no cancel window
 	d.Eng.After(egress, "fig2.egress", c.egressFn)
 }
 

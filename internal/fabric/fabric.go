@@ -340,6 +340,7 @@ func (f *Fabric) SubmitSpan(i int, item any, req telemetry.RequestID, result fun
 	sc.req = req
 	sc.issue = issue
 	sc.result = result
+	//hyperlint:allow(eventref) one-shot completion event: its own firing is the only thing that recycles sc, so there is no cancel window
 	f.eng.At(complete, slot.completeName, sc.fireFn)
 	return nil
 }

@@ -154,7 +154,8 @@ func (s *Stream) deliver() {
 		}
 	} else {
 		if s.rec != nil {
-			s.rec.Span("stream", s.Name, it.Span, t0, s.eng.Now())
+			sp := s.rec.Begin("stream", s.Name, it.Span, t0)
+			sp.End(s.eng.Now())
 		}
 		s.sink(it)
 	}

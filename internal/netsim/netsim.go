@@ -91,7 +91,11 @@ func (n *NIC) OnReceive(fn func(Frame)) { n.recv = fn }
 
 // Send transmits one frame. Sends serialize on the NIC's uplink; the
 // switch may drop the frame if the destination's output queue is full
-// (counted in the network's Drops).
+// (counted in the network's Drops). On success the network owns
+// f.Buf's reference and releases it at delivery or drop; on error the
+// caller keeps it.
+//
+//wire:sends f.Buf
 func (n *NIC) Send(f Frame) error {
 	f.Src = n.Addr
 	if f.Bytes < MinFrameBytes {
@@ -118,6 +122,7 @@ func (n *NIC) Send(f Frame) error {
 	fe := n.net.getFrameEvent()
 	fe.f = f
 	fe.dst = dst
+	//hyperlint:allow(eventref) one-shot leg event: its own firing is the only thing that recycles fe, so there is no cancel window
 	eng.At(arriveAtSwitch, n.upName, fe.upFn)
 	return nil
 }
@@ -318,6 +323,7 @@ func (n *Network) switchForward(fe *frameEvent) {
 		deliver = deliver.Add(n.plan.Delay(reorderSlipLo, reorderSlipHi))
 	}
 	n.Forwards++
+	//hyperlint:allow(eventref) one-shot leg event: its own firing is the only thing that recycles fe, so there is no cancel window
 	n.eng.At(deliver, fe.dst.downName, fe.downFn)
 }
 

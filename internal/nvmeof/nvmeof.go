@@ -40,6 +40,8 @@ const (
 
 // EncodeReadArgs fills a pooled capsule for a read of blocks at lba.
 // The caller owns the returned reference.
+//
+//wire:owns
 func EncodeReadArgs(p *wire.Pool, lba int64, blocks int) *wire.Buf {
 	b := p.Get(readCapLen)
 	bs := b.Bytes()
@@ -55,6 +57,8 @@ func DecodeReadArgs(bs []byte) (lba int64, blocks int) {
 
 // EncodeWriteArgs fills a pooled capsule for a write of data at lba.
 // The caller owns the returned reference.
+//
+//wire:owns
 func EncodeWriteArgs(p *wire.Pool, lba int64, data []byte) *wire.Buf {
 	b := p.Get(writeHdrLen + len(data))
 	bs := b.Bytes()
@@ -238,6 +242,7 @@ type opCtx struct {
 	doneCb   func(err error)              // write/flush resolution
 	rpcFn    func(val any, err error)
 	retryFn  func()
+	timer    sim.EventRef // pending retry backoff, zeroed by the recycle reset
 }
 
 func (i *Initiator) getOp() *opCtx {
@@ -273,7 +278,7 @@ func (op *opCtx) onResult(val any, err error) {
 		backoff := i.RetryBackoff << uint(op.tries)
 		op.tries++
 		if backoff > 0 {
-			i.c.Engine().After(backoff, "nvmeof.retry", op.retryFn)
+			op.timer = i.c.Engine().After(backoff, "nvmeof.retry", op.retryFn)
 		} else {
 			op.attempt()
 		}

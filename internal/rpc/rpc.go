@@ -419,6 +419,7 @@ func (cl *call) attempt() {
 	// retries and stragglers each own their bytes.
 	capsule, isCapsule := cl.arg.(*wire.Buf)
 	if isCapsule {
+		//hyperlint:allow(bufown) custody crosses the wire: the server releases this reference after the handler runs, or the Send error branch below reclaims it
 		capsule.Retain()
 	}
 	err := c.ep.Send(cl.dst, transport.Message{Payload: req, Bytes: cl.argBytes, Span: cl.span})
@@ -452,7 +453,10 @@ func (cl *call) timeout() {
 			cl.tries++
 			c.Retries++
 			if backoff > 0 {
-				c.eng.After(backoff, "rpc.retry", cl.retryFn)
+				// The call left c.pending above, so nothing else cancels
+				// this handle before the retry fires and attempt()
+				// overwrites it with the next timeout timer.
+				cl.timer = c.eng.After(backoff, "rpc.retry", cl.retryFn)
 			} else {
 				cl.attempt()
 			}

@@ -1,0 +1,37 @@
+package telemetry
+
+import "hyperion/internal/sim"
+
+// ActiveSpan is an open interval: begun, not yet recorded. It pairs
+// with exactly one End, which emits the same Event that a direct
+// Span(layer, name, req, start, end) call would — Begin/End is a
+// curried spelling of Span for call sites where the start and end of a
+// stage live in different expressions. The zero value (and any span
+// begun on a nil recorder) is disarmed: End on it is a free no-op.
+//
+// hyperlint's spanpair check enforces the pairing: every ActiveSpan
+// produced by Begin must reach exactly one End on every path.
+type ActiveSpan struct {
+	rec   *Recorder
+	layer string
+	name  string
+	req   RequestID
+	start sim.Time
+}
+
+// Begin opens a span at start. Disarmed (nil) recorders return the
+// zero ActiveSpan without retaining any of the arguments, keeping the
+// disarmed path allocation- and state-free.
+func (r *Recorder) Begin(layer, name string, req RequestID, start sim.Time) ActiveSpan {
+	if r == nil {
+		return ActiveSpan{}
+	}
+	return ActiveSpan{rec: r, layer: layer, name: name, req: req, start: start}
+}
+
+// End closes the span at end, recording it exactly as
+// Span(layer, name, req, start, end) would. End of a zero ActiveSpan
+// is a no-op.
+func (s ActiveSpan) End(end sim.Time) {
+	s.rec.Span(s.layer, s.name, s.req, s.start, end)
+}

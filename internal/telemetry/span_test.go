@@ -1,0 +1,84 @@
+package telemetry
+
+import (
+	"testing"
+
+	"hyperion/internal/sim"
+)
+
+// TestBeginEndMatchesSpan proves Begin/End is a pure respelling of
+// Span: same event, same seq, same histogram fold.
+func TestBeginEndMatchesSpan(t *testing.T) {
+	direct := NewRecorder("direct")
+	direct.Span("l", "n", 7, 10, 25)
+
+	curried := NewRecorder("curried")
+	sp := curried.Begin("l", "n", 7, 10)
+	sp.End(25)
+
+	if direct.Events() != 1 || curried.Events() != 1 {
+		t.Fatalf("events = %d / %d, want 1 / 1", direct.Events(), curried.Events())
+	}
+	de, ce := direct.s.events[0], curried.s.events[0]
+	if de != ce {
+		t.Errorf("event mismatch: direct %+v, curried %+v", de, ce)
+	}
+	if len(curried.s.hists) != 1 || curried.s.hists[0].h.Count() != 1 {
+		t.Errorf("End must fold the duration into the histogram")
+	}
+}
+
+// TestBeginNilRecorder: spans begun while disarmed stay free — no
+// event, no histogram, no retained state.
+func TestBeginNilRecorder(t *testing.T) {
+	var r *Recorder
+	sp := r.Begin("l", "n", 1, 5)
+	if sp != (ActiveSpan{}) {
+		t.Errorf("Begin on nil recorder must return the zero ActiveSpan, got %+v", sp)
+	}
+	sp.End(9) // must not panic
+}
+
+// TestZeroActiveSpanEnd: the zero value is safely endable.
+func TestZeroActiveSpanEnd(t *testing.T) {
+	var sp ActiveSpan
+	sp.End(3)
+}
+
+// TestBeginEndInterleaved: two open spans ending out of order keep
+// record-order Seq (End order, not Begin order, defines Seq).
+func TestBeginEndInterleaved(t *testing.T) {
+	r := NewRecorder("p")
+	a := r.Begin("l", "a", 1, 0)
+	b := r.Begin("l", "b", 2, 5)
+	b.End(8)
+	a.End(9)
+	if r.Events() != 2 {
+		t.Fatalf("events = %d, want 2", r.Events())
+	}
+	if r.s.events[0].Name != "b" || r.s.events[0].Seq != 0 {
+		t.Errorf("first recorded event = %+v, want span b with seq 0", r.s.events[0])
+	}
+	if r.s.events[1].Name != "a" || r.s.events[1].Seq != 1 {
+		t.Errorf("second recorded event = %+v, want span a with seq 1", r.s.events[1])
+	}
+}
+
+// TestBeginEndNoAlloc: the armed Begin/End pair appends to the event
+// buffer but the ActiveSpan itself never escapes to the heap.
+func TestBeginEndNoAlloc(t *testing.T) {
+	r := NewRecorder("p")
+	// Warm the event buffer and histogram so appends don't grow.
+	for i := 0; i < 64; i++ {
+		r.Span("l", "n", 0, 0, 1)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		sp := r.Begin("l", "n", 3, sim.Time(10))
+		sp.End(sim.Time(20))
+	})
+	// Amortized slice growth of the shared event buffer can cost a
+	// fraction of an alloc per run; the span value itself must be free.
+	if allocs >= 1 {
+		t.Errorf("Begin/End allocates %.1f per op; ActiveSpan must stay on the stack", allocs)
+	}
+}

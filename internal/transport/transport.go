@@ -197,6 +197,8 @@ const (
 
 // encodeData fills a pooled buffer with frag's wire header. The caller
 // owns the returned reference.
+//
+//wire:owns
 func encodeData(p *wire.Pool, frag dataFrag) *wire.Buf {
 	b := p.Get(dataHdrLen)
 	bs := b.Bytes()

@@ -68,7 +68,10 @@ func (b *Buf) Append(p []byte) int {
 	return len(b.b)
 }
 
-// Retain adds a reference and returns b for chaining.
+// Retain adds a reference and returns b for chaining. The extra
+// reference is the caller's to discharge.
+//
+//wire:owns
 func (b *Buf) Retain() *Buf {
 	if b.refs <= 0 {
 		panic("wire: Retain on released Buf")
@@ -113,6 +116,8 @@ func NewPool(bufCap int) *Pool {
 // Get returns a Buf of length n with one reference. Its bytes are
 // zero, whether fresh or recycled, so no caller can observe a previous
 // message's payload.
+//
+//wire:owns
 func (p *Pool) Get(n int) *Buf {
 	p.Gets++
 	if len(p.free) == 0 {

@@ -9,10 +9,14 @@
 //	benchctl -json out.json all      # also write machine-readable results
 //	benchctl -compare old.json all   # diff wall/allocs/hashes vs a prior report
 //	benchctl -trace out/ fig2        # run traced; write Perfetto JSON + summaries
+//	benchctl -shards 4 all           # run cluster-capable experiments on 4 shards
+//	benchctl -shardsweep 1,2,4,8 all # measure E17 scaling across shard counts
 //	benchctl table1                  # run one, by name or id (E1..E14)
 //
 // Parallel runs are deterministic: every experiment owns a private
 // sim.Engine, so -parallel changes wall time only, never the tables.
+// Likewise -shards: experiment tables are shard-count invariant, so
+// the flag moves wall time and per-shard stats, never a single cell.
 package main
 
 import (
@@ -20,6 +24,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"hyperion/internal/bench"
@@ -30,6 +36,8 @@ func main() {
 	jsonPath := flag.String("json", "", "with 'all': write machine-readable per-experiment results to this file")
 	comparePath := flag.String("compare", "", "with 'all': diff results against this prior BENCH_*.json; exit 1 on any table-hash mismatch")
 	tracePath := flag.String("trace", "", "run traced experiments with the telemetry plane armed and write <id>.trace.json/.hist.txt/.critpath.txt to this existing directory")
+	shards := flag.Int("shards", 0, "run cluster-capable experiments (E17) on N sim.Cluster shards; 0 keeps each experiment's default")
+	sweepSpec := flag.String("shardsweep", "", "with 'all': comma-separated shard counts (e.g. 1,2,4,8); rerun E17 at each and record events/sec scaling in the JSON report")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -57,13 +65,17 @@ func main() {
 			workers = max
 		}
 		start := time.Now() //hyperlint:allow(nodeterm) total-wall measurement for the JSON report; never feeds model time
-		outs := bench.RunAll(workers)
+		outs := bench.RunAllShards(workers, *shards)
 		wall := time.Since(start) //hyperlint:allow(nodeterm) total-wall measurement for the JSON report; never feeds model time
 		for _, o := range outs {
 			fmt.Println(o.Result.String())
 		}
+		rep := bench.MakeReport(workers, wall, outs)
+		if *sweepSpec != "" {
+			runShardSweep(*sweepSpec, &rep)
+		}
 		if *jsonPath != "" {
-			if err := bench.WriteJSON(*jsonPath, workers, wall, outs); err != nil {
+			if err := bench.WriteReport(*jsonPath, rep); err != nil {
 				fmt.Fprintf(os.Stderr, "benchctl: writing %s: %v\n", *jsonPath, err)
 				os.Exit(1)
 			}
@@ -74,7 +86,7 @@ func main() {
 				fmt.Fprintf(os.Stderr, "benchctl: reading %s: %v\n", *comparePath, err)
 				os.Exit(1)
 			}
-			cmp := bench.Compare(old, bench.MakeReport(workers, wall, outs))
+			cmp := bench.Compare(old, rep)
 			fmt.Print(cmp.String())
 			if cmp.HashMismatches > 0 {
 				os.Exit(1)
@@ -101,7 +113,40 @@ func main() {
 			if *tracePath != "" {
 				fmt.Fprintf(os.Stderr, "benchctl: %s has no traced form; running untraced\n", e.ID)
 			}
-			fmt.Println(e.Run().String())
+			fmt.Println(e.RunAt(*shards).String())
+		}
+	}
+}
+
+// runShardSweep reruns E17 at each requested shard count, prints the
+// scaling table, and attaches the points to the report's E17 record.
+// Two events/sec figures are printed: wall (what this host delivered —
+// flat when the host has fewer cores than shards) and busy (events
+// over the busiest shard's execution time — the kernel's critical
+// path, which wall converges to given one core per shard).
+func runShardSweep(spec string, rep *bench.Report) {
+	var counts []int
+	for _, f := range strings.Split(spec, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "benchctl: -shardsweep %q: bad shard count %q\n", spec, f)
+			os.Exit(2)
+		}
+		counts = append(counts, n)
+	}
+	pts := bench.RackSweep(bench.DefaultSeed, counts)
+	fmt.Printf("E17 shard sweep (host: %d CPUs):\n", runtime.NumCPU())
+	fmt.Printf("  %6s %9s %8s %9s %12s %8s %12s %8s\n",
+		"shards", "events", "wall ms", "stall ms", "wall ev/s", "speedup", "busy ev/s", "speedup")
+	for _, p := range pts {
+		fmt.Printf("  %6d %9d %8.1f %9.1f %12.0f %7.2fx %12.0f %7.2fx\n",
+			p.Shards, p.Events, p.WallMS, p.StallMS,
+			p.EventsPerSec, p.EventsPerSec/pts[0].EventsPerSec,
+			p.BusyEventsPerSec, p.BusyEventsPerSec/pts[0].BusyEventsPerSec)
+	}
+	for i := range rep.Results {
+		if rep.Results[i].ID == "E17" {
+			rep.Results[i].ShardSweep = pts
 		}
 	}
 }
@@ -120,5 +165,5 @@ func traceOne(e bench.Experiment, dir string) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: benchctl [-parallel N] [-json path] [-compare old.json] [-trace dir] list | all | <experiment>...")
+	fmt.Fprintln(os.Stderr, "usage: benchctl [-parallel N] [-shards N] [-shardsweep 1,2,4,8] [-json path] [-compare old.json] [-trace dir] list | all | <experiment>...")
 }

@@ -9,6 +9,7 @@
 //	hyperion-sim kv -ops 5000 -mix b      # YCSB over the network-attached KV-SSD
 //	hyperion-sim fail2ban -packets 20000  # line-rate middleware with persistent bans
 //	hyperion-sim chase -keys 40000        # pointer chasing: client-side vs offloaded
+//	hyperion-sim rack -shards 4 -boxes 8  # rack scenario on the sharded PDES kernel
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"hyperion/internal/cluster"
 	"hyperion/internal/core"
 	"hyperion/internal/netsim"
+	"hyperion/internal/rack"
 	"hyperion/internal/rpc"
 	"hyperion/internal/seg"
 	"hyperion/internal/sim"
@@ -47,6 +49,8 @@ func main() {
 		cmdChase(args)
 	case "cluster":
 		cmdCluster(args)
+	case "rack":
+		cmdRack(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -54,7 +58,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: hyperion-sim boot | kv | fail2ban | chase | cluster [flags]")
+	fmt.Fprintln(os.Stderr, "usage: hyperion-sim boot | kv | fail2ban | chase | cluster | rack [flags]")
 }
 
 func boot() (*sim.Engine, *netsim.Network, *core.DPU) {
@@ -258,6 +262,55 @@ func cmdChase(args []string) {
 	}
 	measure("client-side", cc.ClientSideGet)
 	measure("offloaded", cc.OffloadGet)
+}
+
+// cmdRack runs the E17 rack scenario — every box an NVMe-oF target
+// plus a replicated KV-SSD under an open-loop client population — on
+// the sharded conservative-PDES kernel, then prints the per-shard
+// breakdown an operator needs to tune lookahead: event and envelope
+// counts (deterministic) alongside busy and barrier-stall wall time
+// (host-dependent).
+func cmdRack(args []string) {
+	fs := flag.NewFlagSet("rack", flag.ExitOnError)
+	shards := fs.Int("shards", 4, "conservative-PDES shards to partition the rack across")
+	boxes := fs.Int("boxes", 8, "DPU boxes in the rack")
+	clients := fs.Int("clients", 4000, "open-loop clients per box")
+	rate := fs.Float64("rate", 150, "ops/sec issued by each client")
+	seed := fs.Uint64("seed", 1, "scenario seed (same seed, same table, any -shards)")
+	_ = fs.Parse(args)
+
+	cfg := rack.DefaultConfig()
+	cfg.Boxes = *boxes
+	cfg.Shards = *shards
+	cfg.ClientsPerBox = *clients
+	cfg.RatePerClient = *rate
+	ra := rack.New(cfg, *seed, nil)
+	ra.Run()
+
+	tot := ra.Totals()
+	cl := ra.Cluster()
+	fmt.Printf("rack: %d boxes × %d clients on %d shards, lookahead %v\n",
+		cfg.Boxes, cfg.ClientsPerBox, cl.Shards(), cl.Lookahead())
+	fmt.Printf("rack: ops=%d ok=%d err=%d (reads=%d gets=%d puts=%d), sim-time %v\n",
+		tot.Issued, tot.OK, tot.Errs, tot.Reads, tot.Gets, tot.Puts, cl.Now().Sub(sim.Time(0)))
+	fmt.Printf("rack: latency %s\n", tot.LatAll.Summary())
+	fmt.Printf("rack: %d events in %d barrier windows (%.1f events/window)\n",
+		cl.Steps(), cl.Windows(), float64(cl.Steps())/float64(cl.Windows()))
+	printShardStats(cl)
+}
+
+// printShardStats renders sim.Cluster.Stats: per-shard event and
+// envelope counts plus wall-clock busy/stall split (barrier-stall time
+// is the figure to watch when tuning lookahead).
+func printShardStats(cl *sim.Cluster) {
+	var tbl sim.Table
+	tbl.Header = []string{"shard", "events", "sends", "recvs", "busy ms", "stall ms"}
+	for _, st := range cl.Stats() {
+		tbl.AddRow(fmt.Sprintf("%d", st.Shard), fmt.Sprintf("%d", st.Events),
+			fmt.Sprintf("%d", st.Sends), fmt.Sprintf("%d", st.Recvs),
+			fmt.Sprintf("%.2f", float64(st.BusyNs)/1e6), fmt.Sprintf("%.2f", float64(st.StallNs)/1e6))
+	}
+	fmt.Print(tbl.String())
 }
 
 func cmdCluster(args []string) {

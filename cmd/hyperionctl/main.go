@@ -11,6 +11,7 @@
 //	hyperionctl load -slot 2 -mib 16 -forge   # demonstrate auth rejection
 //	hyperionctl session                        # full scripted session
 //	hyperionctl trace -probes 8 -dir out/      # traced Figure 2 probes
+//	hyperionctl rack -shards 4                 # per-shard PDES kernel report
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"hyperion/internal/core"
 	"hyperion/internal/fabric"
 	"hyperion/internal/netsim"
+	"hyperion/internal/rack"
 	"hyperion/internal/rpc"
 	"hyperion/internal/sim"
 	"hyperion/internal/telemetry"
@@ -99,10 +101,14 @@ func bitstream(mib int64, tag string) *fabric.Bitstream {
 
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: hyperionctl status | load | unload | session | trace")
+		fmt.Fprintln(os.Stderr, "usage: hyperionctl status | load | unload | session | trace | rack")
 		os.Exit(2)
 	}
 	cmd, args := os.Args[1], os.Args[2:]
+	if cmd == "rack" {
+		cmdRack(args) // rack-scale: no single-DPU control session to dial
+		return
+	}
 	c := dial()
 	switch cmd {
 	case "status":
@@ -169,6 +175,46 @@ func main() {
 	default:
 		fmt.Fprintln(os.Stderr, "unknown command", cmd)
 		os.Exit(2)
+	}
+}
+
+// cmdRack is the operator's view of the sharded PDES kernel: it runs
+// the rack scenario at the requested shard count and prints per-shard
+// event/envelope counts and the busy-versus-barrier-stall wall split,
+// the numbers that drive lookahead tuning. The table itself is
+// shard-count invariant; only the per-shard breakdown moves.
+func cmdRack(args []string) {
+	fs := flag.NewFlagSet("rack", flag.ExitOnError)
+	shards := fs.Int("shards", 4, "conservative-PDES shards")
+	boxes := fs.Int("boxes", 8, "DPU boxes in the rack")
+	seed := fs.Uint64("seed", 1, "scenario seed")
+	_ = fs.Parse(args)
+
+	cfg := rack.DefaultConfig()
+	cfg.Boxes = *boxes
+	cfg.Shards = *shards
+	ra := rack.New(cfg, *seed, nil)
+	ra.Run()
+
+	cl := ra.Cluster()
+	tot := ra.Totals()
+	fmt.Printf("rack: %d boxes on %d shards — ops=%d ok=%d err=%d, sim-time %v\n",
+		cfg.Boxes, cl.Shards(), tot.Issued, tot.OK, tot.Errs, cl.Now().Sub(sim.Time(0)))
+	fmt.Printf("rack: %d events, %d barrier windows, lookahead %v\n",
+		cl.Steps(), cl.Windows(), cl.Lookahead())
+	var tbl sim.Table
+	tbl.Header = []string{"shard", "events", "sends", "recvs", "busy ms", "stall ms"}
+	var busy, stall int64
+	for _, st := range cl.Stats() {
+		busy += st.BusyNs
+		stall += st.StallNs
+		tbl.AddRow(fmt.Sprintf("%d", st.Shard), fmt.Sprintf("%d", st.Events),
+			fmt.Sprintf("%d", st.Sends), fmt.Sprintf("%d", st.Recvs),
+			fmt.Sprintf("%.2f", float64(st.BusyNs)/1e6), fmt.Sprintf("%.2f", float64(st.StallNs)/1e6))
+	}
+	fmt.Print(tbl.String())
+	if busy+stall > 0 {
+		fmt.Printf("barrier stall: %.1f%% of shard wall time\n", 100*float64(stall)/float64(busy+stall))
 	}
 }
 

@@ -16,12 +16,32 @@
 //     *sim.Engine is flagged at its declaration: cross-engine
 //     references must live per-instance so each shard's reachability
 //     is closed over its own engine.
+//
+// Two more rules guard the zero-copy buffer plane under sim.Cluster
+// sharding (the wire package itself is exempt — it owns the types):
+//
+//   - a package-level variable whose type contains wire.Pool or
+//     *wire.Buf is flagged at its declaration: a pool's free list is
+//     single-threaded state, so pools (and the buffers they recycle)
+//     must be shard-local — one pool per cluster shard, reachable only
+//     from that shard's handlers.
+//   - every Buf.Retain call must carry a `//wire:sends <destination>`
+//     annotation on its own line or the line above, naming where the
+//     new reference goes. Retain is the only way a buffer's reference
+//     count fans out, so annotated retains are an auditable inventory
+//     of every point where a reference could migrate — the reviewer's
+//     (and hyperflow's) checklist that none of them crosses a shard
+//     boundary. On function declarations `//wire:` directives remain
+//     flow contracts (see internal/analysis/flow); the line form here
+//     is deliberately the same vocabulary, naming the envelope or
+//     callee custody moves to.
 package sharedstate
 
 import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 
 	"hyperion/internal/analysis"
 )
@@ -33,14 +53,18 @@ var Analyzer = &analysis.Analyzer{
 	Run:  run,
 }
 
-const simPath = analysis.ModulePath + "/internal/sim"
+const (
+	simPath  = analysis.ModulePath + "/internal/sim"
+	wirePath = analysis.ModulePath + "/internal/wire"
+)
 
 func run(pass *analysis.Pass) error {
 	if pass.Layer != analysis.LayerModel || pass.Path == simPath {
 		return nil
 	}
 	for _, f := range pass.NonTestFiles() {
-		// Rule 2: engine-typed package state, at the declaration.
+		// Rules 2 and 3: engine- or buffer-typed package state, at the
+		// declaration.
 		for _, decl := range f.Decls {
 			gd, ok := decl.(*ast.GenDecl)
 			if !ok || gd.Tok != token.VAR {
@@ -59,10 +83,17 @@ func run(pass *analysis.Pass) error {
 					if bad := engineRef(v.Type()); bad != "" {
 						pass.Reportf(name.Pos(), "package-level var %s holds %s: engine-scoped handles must live per-instance so sim.Engine can shard", name.Name, bad)
 					}
+					if pass.Path == wirePath {
+						continue
+					}
+					if bad := wireRef(v.Type()); bad != "" {
+						pass.Reportf(name.Pos(), "package-level var %s holds %s: buffer pools and buffers must be shard-local so free lists never cross sim.Cluster shards", name.Name, bad)
+					}
 				}
 			}
 		}
-		// Rule 1: writes outside declarations and init.
+		sends := collectWireSends(pass.Fset, f)
+		// Rules 1 and 4: package-level writes and unannotated retains.
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
@@ -72,9 +103,63 @@ func run(pass *analysis.Pass) error {
 				continue // build-time table construction is fine
 			}
 			checkWrites(pass, fd.Body)
+			if pass.Path != wirePath {
+				checkRetains(pass, fd.Body, sends)
+			}
 		}
 	}
 	return nil
+}
+
+// collectWireSends indexes the lines of f covered by a line-form
+// `//wire:sends <destination>` annotation: the annotation's own line
+// (trailing comment) and the next (standalone comment above the call).
+// An annotation with no destination text covers nothing — a bare verb
+// documents nothing worth auditing.
+func collectWireSends(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, "//wire:sends")
+			if !ok || strings.TrimSpace(rest) == "" {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			lines[line] = true
+			lines[line+1] = true
+		}
+	}
+	return lines
+}
+
+// checkRetains reports wire.Buf Retain calls lacking a //wire:sends
+// destination annotation.
+func checkRetains(pass *analysis.Pass, body *ast.BlockStmt, sends map[int]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Retain" {
+			return true
+		}
+		recv := pass.TypesInfo.TypeOf(sel.X)
+		if recv == nil {
+			return true
+		}
+		if p, isPtr := recv.(*types.Pointer); isPtr {
+			recv = p.Elem()
+		}
+		if !analysis.IsNamed(recv, wirePath, "Buf") {
+			return true
+		}
+		if sends[pass.Fset.Position(call.Pos()).Line] {
+			return true
+		}
+		pass.Reportf(call.Pos(), "wire.Buf Retain without a //wire:sends destination: every new reference must name where it goes so cross-shard hand-offs stay auditable")
+		return true
+	})
 }
 
 // checkWrites reports assignments, op-assignments, increments and
@@ -128,6 +213,53 @@ func baseIdent(e ast.Expr) *ast.Ident {
 			return nil
 		}
 	}
+}
+
+// wireRef reports whether t transitively contains wire.Pool (by value
+// or pointer) or a wire.Buf reference, returning a human name for the
+// offending component.
+func wireRef(t types.Type) string {
+	return wireRefSeen(t, make(map[types.Type]bool))
+}
+
+func wireRefSeen(t types.Type, seen map[types.Type]bool) string {
+	if t == nil || seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if analysis.IsNamed(t, wirePath, "Pool") {
+		return "wire.Pool"
+	}
+	switch t := t.(type) {
+	case *types.Pointer:
+		if analysis.IsNamed(t.Elem(), wirePath, "Pool") {
+			return "*wire.Pool"
+		}
+		if analysis.IsNamed(t.Elem(), wirePath, "Buf") {
+			return "*wire.Buf"
+		}
+		return wireRefSeen(t.Elem(), seen)
+	case *types.Named:
+		return wireRefSeen(t.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if bad := wireRefSeen(t.Field(i).Type(), seen); bad != "" {
+				return bad
+			}
+		}
+	case *types.Slice:
+		return wireRefSeen(t.Elem(), seen)
+	case *types.Array:
+		return wireRefSeen(t.Elem(), seen)
+	case *types.Map:
+		if bad := wireRefSeen(t.Key(), seen); bad != "" {
+			return bad
+		}
+		return wireRefSeen(t.Elem(), seen)
+	case *types.Chan:
+		return wireRefSeen(t.Elem(), seen)
+	}
+	return ""
 }
 
 // engineRef reports whether t transitively contains sim.EventRef or

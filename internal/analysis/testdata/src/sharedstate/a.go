@@ -6,6 +6,7 @@ import (
 	"errors"
 
 	"hyperion/internal/sim"
+	"hyperion/internal/wire"
 )
 
 // Read-only tables and error sentinels are fine.
@@ -60,4 +61,52 @@ var registry []regEntry // want `holds sim\.EventRef`
 
 func useAll() (any, any, any, any) {
 	return errBad, lastEngine, watchdog, registry
+}
+
+var sharedPool *wire.Pool // want `holds \*wire\.Pool`
+
+var inlinePool wire.Pool // want `holds wire\.Pool`
+
+var parked *wire.Buf // want `holds \*wire\.Buf`
+
+type shardless struct {
+	pool *wire.Pool
+}
+
+var fleet []shardless // want `holds \*wire\.Pool`
+
+func shardLocalPoolIsFine() *wire.Buf {
+	pool := wire.NewPool(64)
+	return pool.Get(16)
+}
+
+func retainBare(b *wire.Buf) *wire.Buf {
+	return b.Retain() // want `Retain without a //wire:sends destination`
+}
+
+func retainAnnotated(b *wire.Buf) *wire.Buf {
+	return b.Retain() //wire:sends the same-shard NIC queue
+}
+
+func retainAnnotatedAbove(b *wire.Buf) *wire.Buf {
+	//wire:sends the retry queue, same engine
+	return b.Retain()
+}
+
+func retainBareVerb(b *wire.Buf) *wire.Buf {
+	//wire:sends
+	return b.Retain() // want `Retain without a //wire:sends destination`
+}
+
+func otherRetainIsFine() {
+	var c counter
+	c.Retain()
+}
+
+type counter int
+
+func (c *counter) Retain() {}
+
+func usePools() (any, any, any, any) {
+	return sharedPool, inlinePool, parked, fleet
 }

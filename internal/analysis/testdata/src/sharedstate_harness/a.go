@@ -3,11 +3,16 @@
 // it is not sharded across engines.
 package sharedstate_harness
 
-import "hyperion/internal/sim"
+import (
+	"hyperion/internal/sim"
+	"hyperion/internal/wire"
+)
 
 var hits int64
 
 var lastEngine *sim.Engine
+
+var benchPool *wire.Pool
 
 func bump() {
 	hits++ // harness layer: no finding
@@ -15,4 +20,8 @@ func bump() {
 
 func park(e *sim.Engine) {
 	lastEngine = e
+}
+
+func retain(b *wire.Buf) *wire.Buf {
+	return b.Retain() // harness layer: no finding
 }

@@ -63,10 +63,26 @@ type Experiment struct {
 	Name      string
 	RunSeeded func(seed uint64) Result
 	RunTraced func(seed uint64, rec *telemetry.Recorder) Result
+	// RunSharded, where present, is the same experiment with an
+	// explicit sim.Cluster shard count. Its Result must be
+	// byte-identical to RunSeeded at the same seed for every shard
+	// count — the knob changes the layout, never the physics.
+	RunSharded func(seed uint64, shards int) Result
 }
 
 // Run executes the experiment at DefaultSeed — the golden universe.
 func (e Experiment) Run() Result { return e.RunSeeded(DefaultSeed) }
+
+// RunAt executes the experiment at DefaultSeed under an explicit
+// cluster shard count. Experiments without a sharded form ignore the
+// count — their single engine is already the 1-shard layout — so
+// `benchctl -shards N all` is well-defined for the whole suite.
+func (e Experiment) RunAt(shards int) Result {
+	if shards > 0 && e.RunSharded != nil {
+		return e.RunSharded(DefaultSeed, shards)
+	}
+	return e.RunSeeded(DefaultSeed)
+}
 
 // All returns every experiment in order.
 func All() []Experiment {
@@ -88,6 +104,7 @@ func All() []Experiment {
 		// Extensions beyond the paper's own artifacts.
 		{ID: "X1", Name: "cluster", RunSeeded: ClusterScaleOut},
 		{ID: "E16", Name: "chaos", RunSeeded: Chaos, RunTraced: ChaosTraced},
+		{ID: "E17", Name: "rack", RunSeeded: Rack, RunTraced: RackTraced, RunSharded: RackSharded},
 	}
 }
 

@@ -25,7 +25,13 @@ type RunOutcome struct {
 // sim.Engine, so the Results are identical to a sequential run — only
 // wall time changes, and per-experiment alloc counts are not attributed
 // (reported as -1).
-func RunAll(workers int) []RunOutcome {
+func RunAll(workers int) []RunOutcome { return RunAllShards(workers, 0) }
+
+// RunAllShards is RunAll with an explicit cluster shard count applied
+// to every experiment that has a sharded form (shards <= 0 keeps each
+// experiment's default). Tables are shard-count invariant, so the
+// outcomes differ from RunAll only in wall time.
+func RunAllShards(workers, shards int) []RunOutcome {
 	exps := All()
 	out := make([]RunOutcome, len(exps))
 	runOne := func(i int, seq bool) {
@@ -36,7 +42,7 @@ func RunAll(workers int) []RunOutcome {
 			runtime.ReadMemStats(&m0)
 		}
 		start := time.Now() //hyperlint:allow(nodeterm) harness-side wall measurement; never feeds model time
-		out[i].Result = exps[i].Run()
+		out[i].Result = exps[i].RunAt(shards)
 		out[i].Wall = time.Since(start) //hyperlint:allow(nodeterm) harness-side wall measurement; never feeds model time
 		if seq {
 			var m1 runtime.MemStats
@@ -85,6 +91,10 @@ type Record struct {
 	Allocs        int64   `json:"allocs"` // -1 when not attributed (parallel run)
 	Rows          int     `json:"rows"`
 	TableSHA256   string  `json:"table_sha256"`
+	// ShardSweep, when present, records the experiment's wall cost as a
+	// function of sim.Cluster shard count (E17; attached by
+	// `benchctl -shardsweep`). Older reports simply omit it.
+	ShardSweep []RackSweepPoint `json:"shard_sweep,omitempty"`
 }
 
 // ToRecord converts an outcome to its JSON row.
@@ -111,6 +121,7 @@ func (o RunOutcome) ToRecord() Record {
 type Report struct {
 	Schema      string   `json:"schema"`
 	Workers     int      `json:"workers"`
+	HostCPUs    int      `json:"host_cpus,omitempty"` // CPUs the run had; wall numbers are meaningless without it
 	TotalWallMS float64  `json:"total_wall_ms"`
 	Results     []Record `json:"results"`
 }
@@ -120,6 +131,7 @@ func MakeReport(workers int, totalWall time.Duration, outs []RunOutcome) Report 
 	rep := Report{
 		Schema:      "hyperion-bench/v1",
 		Workers:     workers,
+		HostCPUs:    runtime.NumCPU(),
 		TotalWallMS: float64(totalWall.Microseconds()) / 1000,
 	}
 	for _, o := range outs {
@@ -130,7 +142,12 @@ func MakeReport(workers int, totalWall time.Duration, outs []RunOutcome) Report 
 
 // WriteJSON writes outcomes as a machine-readable report to path.
 func WriteJSON(path string, workers int, totalWall time.Duration, outs []RunOutcome) error {
-	data, err := json.MarshalIndent(MakeReport(workers, totalWall, outs), "", "  ")
+	return WriteReport(path, MakeReport(workers, totalWall, outs))
+}
+
+// WriteReport writes an assembled (possibly annotated) report to path.
+func WriteReport(path string, rep Report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
 	}

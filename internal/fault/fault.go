@@ -83,6 +83,20 @@ func NewPlan(seed uint64, layer string) *Plan {
 	return &Plan{layer: layer, rng: sim.NewRand(seed ^ fnv1a(layer))}
 }
 
+// NewPlanIndexed derives a plan for the idx-th instance of a layer
+// (box 3's NVMe device, shard 2's fabric...). NewPlan keys the rng
+// stream on the layer *name* alone, so giving several instances the
+// same name would hand them correlated — in fact identical — fault
+// streams; mixing the index in keeps instance streams independent
+// while remaining a pure function of (seed, layer, idx), independent
+// of how instances are laid out across cluster shards.
+func NewPlanIndexed(seed uint64, layer string, idx int) *Plan {
+	return &Plan{
+		layer: layer,
+		rng:   sim.NewRand(seed ^ fnv1a(layer) ^ (0x9e3779b97f4a7c15 * (uint64(idx) + 1))),
+	}
+}
+
 // Layer reports the layer name the plan was derived for.
 func (p *Plan) Layer() string {
 	if p == nil {

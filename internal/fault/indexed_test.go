@@ -1,0 +1,54 @@
+package fault
+
+import "testing"
+
+// rolls materializes a plan's first n Drop decisions.
+func rolls(p *Plan, n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = p.Roll(Drop)
+	}
+	return out
+}
+
+// TestNewPlanIndexedStreams pins the audit finding behind
+// NewPlanIndexed: several instances of one layer must draw independent
+// fault streams, while each stream stays a pure function of
+// (seed, layer, idx) — the property that keeps fault injection
+// shard-count invariant when instances move between cluster shards.
+func TestNewPlanIndexedStreams(t *testing.T) {
+	const n = 256
+	mk := func(seed uint64, idx int) []bool {
+		return rolls(NewPlanIndexed(seed, "rack.box", idx).Set(Drop, 0.5), n)
+	}
+	same := func(a, b []bool) bool {
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	// Pure function of (seed, layer, idx).
+	if !same(mk(7, 3), mk(7, 3)) {
+		t.Error("identical (seed, layer, idx) produced different streams")
+	}
+	// Distinct instances decorrelate. (256 fair coin flips colliding
+	// means the streams are identical, not unlucky.)
+	if same(mk(7, 0), mk(7, 1)) {
+		t.Error("idx 0 and idx 1 share a fault stream")
+	}
+	// Distinct layers decorrelate at the same index.
+	other := rolls(NewPlanIndexed(7, "rack.spine", 0).Set(Drop, 0.5), n)
+	if same(mk(7, 0), other) {
+		t.Error("layers rack.box and rack.spine share a stream at idx 0")
+	}
+	// The indexed constructor must not collide with the plain one for
+	// any small index — NewPlan(seed, layer) is its own stream.
+	plain := rolls(NewPlan(7, "rack.box").Set(Drop, 0.5), n)
+	for idx := 0; idx < 8; idx++ {
+		if same(plain, mk(7, idx)) {
+			t.Errorf("NewPlanIndexed idx %d collides with NewPlan", idx)
+		}
+	}
+}

@@ -275,9 +275,7 @@ func (n *Network) Detach(addr Addr) {
 }
 
 // serTime is the serialization time of b bytes on one link.
-func (n *Network) serTime(b int) sim.Duration {
-	return sim.Duration(float64(b) / float64(n.cfg.LinkBytesPerSec) * float64(sim.Second))
-}
+func (n *Network) serTime(b int) sim.Duration { return n.cfg.SerTime(b) }
 
 // switchForward queues the frame on the destination's output port.
 // Fault rolls happen here, in arrival order, so an installed plan's

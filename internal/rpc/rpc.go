@@ -420,7 +420,7 @@ func (cl *call) attempt() {
 	capsule, isCapsule := cl.arg.(*wire.Buf)
 	if isCapsule {
 		//hyperlint:allow(bufown) custody crosses the wire: the server releases this reference after the handler runs, or the Send error branch below reclaims it
-		capsule.Retain()
+		capsule.Retain() //wire:sends the transport endpoint, inside req — same engine, released server-side after the handler
 	}
 	err := c.ep.Send(cl.dst, transport.Message{Payload: req, Bytes: cl.argBytes, Span: cl.span})
 	if err != nil {

@@ -241,3 +241,9 @@ func (e *Engine) peek() (Time, bool) {
 // Pending reports the number of live queued events. It is a maintained
 // counter, O(1) — not a scan of the queue.
 func (e *Engine) Pending() int { return e.live }
+
+// NextAt reports the time of the next live event without executing it,
+// or false with an empty queue. The conservative cluster scheduler uses
+// it to compute the lower bound on cross-shard timestamps (LBTS); it is
+// also handy for tests and tools that want to observe the frontier.
+func (e *Engine) NextAt() (Time, bool) { return e.peek() }

@@ -70,6 +70,18 @@ func (l *LatencyRecorder) Percentile(p float64) Duration {
 	return l.samples[rank-1]
 }
 
+// Merge absorbs o's samples into l. Because percentiles are computed
+// over the sorted union, the result is independent of merge order —
+// per-shard recorders merged in any order report identical tables.
+func (l *LatencyRecorder) Merge(o *LatencyRecorder) {
+	if o == nil || len(o.samples) == 0 {
+		return
+	}
+	l.samples = append(l.samples, o.samples...)
+	l.sum += o.sum
+	l.sorted = false
+}
+
 // Stddev returns the sample standard deviation.
 func (l *LatencyRecorder) Stddev() Duration {
 	n := len(l.samples)

@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"fmt"
+	"testing"
+
+	"hyperion/internal/sim"
+)
+
+// recordBox emits one box's deterministic telemetry stream: tagged
+// spans across two layers, an untagged span, a bare observation and a
+// counter. The stream depends only on idx, so any recorder that plays
+// boxes in index order produces the same logical history.
+func recordBox(r *Recorder, idx int) {
+	base := sim.Time(int64(idx+1) * int64(10*sim.Microsecond))
+	for op := 0; op < 3; op++ {
+		req := r.NewRequest()
+		t0 := base.Add(sim.Duration(op) * sim.Microsecond)
+		mid := t0.Add(300 * sim.Nanosecond)
+		end := t0.Add(sim.Duration(idx+op+1) * sim.Microsecond)
+		r.Span("net", "frame", req, t0, mid)
+		r.Span("nvme", "read", req, mid, end)
+	}
+	r.Span("net", "bg", 0, base, base.Add(50*sim.Nanosecond))
+	r.Observe("kv", "put", sim.Duration(idx+1)*sim.Microsecond)
+	r.Count("kv", "ops", int64(idx+1))
+}
+
+// TestMergeIntoShardCountInvariance pins the satellite contract for
+// per-shard telemetry: four box streams recorded on one recorder must
+// export byte-identically to the same streams recorded on two
+// per-shard recorders merged in shard order — traces, histogram dumps,
+// and critical-path summaries all included.
+func TestMergeIntoShardCountInvariance(t *testing.T) {
+	// 1-shard reference: one sink, boxes as children in box order.
+	ref := NewRecorder("rack")
+	for i := 0; i < 4; i++ {
+		recordBox(ref.Child(fmt.Sprintf("box%d", i)), i)
+	}
+
+	// 2-shard layout: boxes {0,1} on shard 0, {2,3} on shard 1. Each
+	// shard's root process is its first box, so after merging in shard
+	// order the pid space matches the reference exactly.
+	s0 := NewRecorder("box0")
+	recordBox(s0, 0)
+	recordBox(s0.Child("box1"), 1)
+	s1 := NewRecorder("box2")
+	recordBox(s1, 2)
+	recordBox(s1.Child("box3"), 3)
+
+	dst := NewRecorder("rack")
+	s0.MergeInto(dst)
+	s1.MergeInto(dst)
+
+	if got, want := string(dst.ChromeTrace()), string(ref.ChromeTrace()); got != want {
+		t.Errorf("merged trace differs from 1-shard trace:\n--- merged ---\n%s\n--- 1-shard ---\n%s", got, want)
+	}
+	if got, want := dst.HistogramDump(), ref.HistogramDump(); got != want {
+		t.Errorf("merged histogram dump differs:\n--- merged ---\n%s\n--- 1-shard ---\n%s", got, want)
+	}
+	if got, want := dst.CriticalPath(), ref.CriticalPath(); got != want {
+		t.Errorf("merged critical path differs:\n--- merged ---\n%s\n--- 1-shard ---\n%s", got, want)
+	}
+	if err := ValidateChromeTrace(dst.ChromeTrace()); err != nil {
+		t.Errorf("merged trace fails validation: %v", err)
+	}
+	// Request ids must stay distinct across the merge: the next id in
+	// the merged sink continues past both shards' allocations.
+	if got, want := dst.NewRequest(), ref.NewRequest(); got != want {
+		t.Errorf("merged next request id = %d, want %d", got, want)
+	}
+}
+
+func TestMergeIntoNilSafety(t *testing.T) {
+	var nilRec *Recorder
+	dst := NewRecorder("d")
+	nilRec.MergeInto(dst) // must not panic
+	src := NewRecorder("s")
+	recordBox(src, 0)
+	src.MergeInto(nil) // must not panic
+	if dst.Events() != 0 {
+		t.Errorf("nil merges moved %d events", dst.Events())
+	}
+}
+
+func TestMergeIntoSelfPanics(t *testing.T) {
+	rec := NewRecorder("r")
+	child := rec.Child("c")
+	defer func() {
+		if recover() == nil {
+			t.Error("merging recorders sharing a sink did not panic")
+		}
+	}()
+	child.MergeInto(rec)
+}

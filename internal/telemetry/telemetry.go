@@ -173,3 +173,55 @@ func (r *Recorder) Events() int {
 	}
 	return len(r.s.events)
 }
+
+// MergeInto folds this recorder's entire sink — processes, spans,
+// histograms, counters, request-id space — into dst, in a fully
+// deterministic way: src processes are appended to dst in creation
+// order (pids remapped), spans are re-sequenced after dst's existing
+// events, and src request ids are offset past dst's so identities stay
+// distinct. Merging per-shard recorders shard 0..N-1 therefore yields
+// the same dump regardless of how work was split across shards, as
+// long as each shard recorded its own work in deterministic order.
+// MergeInto of or into a nil recorder is a no-op; merging a recorder
+// into itself panics.
+func (r *Recorder) MergeInto(dst *Recorder) {
+	if r == nil || dst == nil {
+		return
+	}
+	if r.s == dst.s {
+		panic("telemetry: MergeInto on recorders sharing a sink")
+	}
+	s, d := r.s, dst.s
+	pidBase := len(d.procs)
+	d.procs = append(d.procs, s.procs...)
+	reqBase := d.nextReq
+	for _, ev := range s.events {
+		ev.Pid += pidBase
+		if ev.Req != 0 {
+			ev.Req += RequestID(reqBase)
+		}
+		ev.Seq = uint64(len(d.events))
+		d.events = append(d.events, ev)
+	}
+	d.nextReq += s.nextReq
+	for _, he := range s.hists {
+		k := metricKey{he.key.pid + pidBase, he.key.layer, he.key.name}
+		i, ok := d.histIdx[k]
+		if !ok {
+			i = len(d.hists)
+			d.hists = append(d.hists, &histEntry{key: k})
+			d.histIdx[k] = i
+		}
+		d.hists[i].h.Merge(&he.h)
+	}
+	for _, ce := range s.counts {
+		k := metricKey{ce.key.pid + pidBase, ce.key.layer, ce.key.name}
+		i, ok := d.countIdx[k]
+		if !ok {
+			i = len(d.counts)
+			d.counts = append(d.counts, &countEntry{key: k})
+			d.countIdx[k] = i
+		}
+		d.counts[i].n += ce.n
+	}
+}

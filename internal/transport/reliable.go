@@ -197,7 +197,7 @@ func (r *reliableEndpoint) transmit(c *sendConn, of outFrag) {
 	d := r.cpuDelay()
 	// The connection keeps its buffered reference for retransmission;
 	// each transmission hands the network its own.
-	tx := relTx{dst: c.dst, buf: of.buf.Retain(), wire: of.wire, payload: of.payload, span: of.span}
+	tx := relTx{dst: c.dst, buf: of.buf.Retain(), wire: of.wire, payload: of.payload, span: of.span} //wire:sends the NIC via sendTx — same engine, netsim releases on delivery or drop
 	if d > 0 {
 		// cpuBusy only moves forward, so queued transmissions fire in
 		// push order.

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"hyperion/internal/bench"
+	"hyperion/internal/netsim"
 	"hyperion/internal/telemetry"
 )
 
@@ -48,6 +49,62 @@ func TestMetamorphicDeterminism(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// TestShardCountInvariance is the PDES kernel's headline metamorphic
+// relation: the shard count is a layout knob, never a physics knob.
+// E17's table, event count, and final virtual clock must be
+// byte-identical for every shard count at every seed, and the windowed
+// (sim.Cluster-hosted, 1-shard) form of the existing X1 scale-out
+// experiment must reproduce the plain single-engine run exactly —
+// proving the barrier kernel adds no observable behavior of its own.
+func TestShardCountInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the rack scenario at four shard counts per seed")
+	}
+	seeds := []uint64{1, 2, 3}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("E17/seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			base := bench.RackSharded(seed, 1)
+			for _, shards := range []int{2, 4, 8} {
+				r := bench.RackSharded(seed, shards)
+				if got, want := r.Table.String(), base.Table.String(); got != want {
+					t.Errorf("E17 at %d shards diverged from 1 shard at seed %d:\n--- %d shards ---\n%s\n--- 1 shard ---\n%s",
+						shards, seed, shards, got, want)
+				}
+				if r.Steps != base.Steps {
+					t.Errorf("E17 at %d shards ran %d events, 1 shard ran %d (seed %d)",
+						shards, r.Steps, base.Steps, seed)
+				}
+				if r.SimTime != base.SimTime {
+					t.Errorf("E17 at %d shards ended at %v, 1 shard at %v (seed %d)",
+						shards, r.SimTime, base.SimTime, seed)
+				}
+			}
+		})
+		t.Run(fmt.Sprintf("X1/seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			plain := bench.ClusterScaleOut(seed)
+			windowed := bench.ClusterScaleOutWindowed(seed)
+			if got, want := windowed.Table.String(), plain.Table.String(); got != want {
+				t.Errorf("X1 under sim.Cluster diverged from the plain engine at seed %d:\n--- windowed ---\n%s\n--- plain ---\n%s",
+					seed, got, want)
+			}
+			if windowed.Steps != plain.Steps {
+				t.Errorf("X1 under sim.Cluster ran %d events, plain engine ran %d (seed %d)",
+					windowed.Steps, plain.Steps, seed)
+			}
+			// The cluster clock legitimately rests at the final barrier
+			// window's deadline, at most one lookahead past the plain
+			// engine's last event — never before it.
+			if d := windowed.SimTime.Sub(plain.SimTime); d < 0 || d > netsim.DefaultConfig().Lookahead() {
+				t.Errorf("X1 under sim.Cluster ended at %v, plain at %v — outside one lookahead window (seed %d)",
+					windowed.SimTime, plain.SimTime, seed)
+			}
+		})
 	}
 }
 

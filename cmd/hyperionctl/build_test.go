@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const buildTestSrc = `package prog
+
+//hyperion:map seen id=0 key=4 value=8 entries=256
+
+type Pkt struct {
+	Src uint32
+}
+
+//hyperion:helper 1
+func mapLookup(m uint32, k *uint32) *uint64
+
+func Filter(ctx *Pkt) uint64 {
+	var key uint32
+	key = ctx.Src
+	p := mapLookup(0, &key)
+	if p == nil {
+		return 0
+	}
+	return 1
+}
+`
+
+const buildTestBadSrc = `package prog
+
+type Pkt struct {
+	Src uint32
+}
+
+func Filter(ctx *Pkt) uint64 {
+	s := make([]byte, 4)
+	return uint64(s[0])
+}
+`
+
+func writeTemp(t *testing.T, name, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCmdBuildSuccess(t *testing.T) {
+	path := writeTemp(t, "filter.go", buildTestSrc)
+	var stdout, stderr bytes.Buffer
+	if code := cmdBuild([]string{path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"entry Filter: ctx 4 bytes",
+		"map 0 seen: key 4B value 8B, 256 entries",
+		"pipeline:",
+		"call 1",
+		"exit",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stdout missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCmdBuildDiagnostics(t *testing.T) {
+	path := writeTemp(t, "bad.go", buildTestBadSrc)
+	var stdout, stderr bytes.Buffer
+	if code := cmdBuild([]string{path}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	errOut := stderr.String()
+	if !strings.Contains(errOut, "bad.go:8:7:") || !strings.Contains(errOut, "[no-heap]") {
+		t.Errorf("stderr missing positioned no-heap diagnostic:\n%s", errOut)
+	}
+	if !strings.Contains(errOut, "rejected") {
+		t.Errorf("stderr missing rejection summary:\n%s", errOut)
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("rejected build wrote to stdout:\n%s", stdout.String())
+	}
+}
+
+func TestCmdBuildUsage(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := cmdBuild(nil, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "usage:") {
+		t.Errorf("stderr missing usage line:\n%s", stderr.String())
+	}
+	if code := cmdBuild([]string{"nosuch.go"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("missing file: exit %d, want 1", code)
+	}
+}

@@ -12,6 +12,7 @@
 //	hyperionctl session                        # full scripted session
 //	hyperionctl trace -probes 8 -dir out/      # traced Figure 2 probes
 //	hyperionctl rack -shards 4                 # per-shard PDES kernel report
+//	hyperionctl build filter.go                # compile restricted Go to the ISA
 package main
 
 import (
@@ -101,13 +102,16 @@ func bitstream(mib int64, tag string) *fabric.Bitstream {
 
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: hyperionctl status | load | unload | session | trace | rack")
+		fmt.Fprintln(os.Stderr, "usage: hyperionctl status | load | unload | session | trace | rack | build")
 		os.Exit(2)
 	}
 	cmd, args := os.Args[1], os.Args[2:]
 	if cmd == "rack" {
 		cmdRack(args) // rack-scale: no single-DPU control session to dial
 		return
+	}
+	if cmd == "build" {
+		os.Exit(cmdBuild(args, os.Stdout, os.Stderr)) // pure compile: no DPU to dial
 	}
 	c := dial()
 	switch cmd {

@@ -77,9 +77,9 @@ type Service struct {
 // (data-plane RPC uses the same machinery). The per-hop program is
 // verified and compiled at deploy time.
 func NewService(d *core.DPU, srv *rpc.Server, tree *bptree.Tree) (*Service, error) {
-	prog, err := ebpf.Assemble(StepProgram())
+	prog, err := CompileStep()
 	if err != nil {
-		return nil, fmt.Errorf("chase: assembling step program: %w", err)
+		return nil, err
 	}
 	vcfg := ebpf.DefaultVerifierConfig(nil)
 	vcfg.CtxSize = CtxBytes

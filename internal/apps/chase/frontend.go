@@ -1,0 +1,29 @@
+package chase
+
+import (
+	_ "embed"
+	"fmt"
+
+	"hyperion/internal/ebpf"
+	"hyperion/internal/ebpf/gofront"
+)
+
+// The per-hop program ships as restricted Go and is compiled by the
+// gofront frontend at service start. The hand-assembled StepProgram in
+// program.go is retained as the differential-test oracle: the two must
+// stay shape-identical instruction by instruction.
+
+//go:embed step_prog.go
+var stepSource []byte
+
+// CompileStep builds step_prog.go through the restricted-Go frontend.
+func CompileStep() ([]ebpf.Instruction, error) {
+	p, err := gofront.Compile("step_prog.go", stepSource, gofront.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("chase: frontend: %w", err)
+	}
+	if p.CtxSize != CtxBytes {
+		return nil, fmt.Errorf("chase: frontend context is %d bytes, want %d", p.CtxSize, CtxBytes)
+	}
+	return p.Insns, nil
+}

@@ -110,12 +110,12 @@ func Deploy(d *core.DPU, slot, threshold int, done func()) (*Filter, error) {
 	maps.Add(bans)  // id 0
 	maps.Add(fails) // id 1
 
-	prog, err := ebpf.Assemble(Program(threshold))
+	prog, err := CompileFilter(threshold)
 	if err != nil {
 		return nil, err
 	}
 	vcfg := ebpf.DefaultVerifierConfig(maps)
-	vcfg.CtxSize = 20
+	vcfg.CtxSize = ctxBytes
 	pipe, err := ehdl.Compile(prog, ehdl.Options{
 		Name:     "fail2ban",
 		AuthTag:  d.Cfg.AuthTag,

@@ -1,0 +1,36 @@
+package fail2ban
+
+import (
+	_ "embed"
+	"fmt"
+
+	"hyperion/internal/ebpf"
+	"hyperion/internal/ebpf/gofront"
+)
+
+// The packet filter ships as restricted Go and is compiled by the
+// gofront frontend at deploy time, with the ban threshold injected as
+// a constant override. The hand-assembled Program in fail2ban.go is
+// retained as the differential-test oracle: the two must stay
+// shape-identical instruction by instruction.
+
+//go:embed filter_prog.go
+var filterSource []byte
+
+// ctxBytes is the trace.Packet.Marshal wire size.
+const ctxBytes = 20
+
+// CompileFilter builds filter_prog.go through the restricted-Go
+// frontend for the given ban threshold.
+func CompileFilter(threshold int) ([]ebpf.Instruction, error) {
+	p, err := gofront.Compile("filter_prog.go", filterSource, gofront.Options{
+		Consts: map[string]int64{"threshold": int64(threshold)},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fail2ban: frontend: %w", err)
+	}
+	if p.CtxSize != ctxBytes {
+		return nil, fmt.Errorf("fail2ban: frontend context is %d bytes, want %d", p.CtxSize, ctxBytes)
+	}
+	return p.Insns, nil
+}

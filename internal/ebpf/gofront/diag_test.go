@@ -1,0 +1,111 @@
+package gofront
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// The diagnostics golden suite: every file under testdata/diag is a
+// syntactically valid Go program that violates the restricted-Go
+// contract. Expected rejections are pinned with trailing comments of
+// the form
+//
+//	// want COL "exact message" rule-id
+//
+// on the offending line. The compile must produce exactly the
+// diagnostics the file declares — same line, column, message, and
+// contract rule — so error quality regressions fail loudly.
+
+var wantRe = regexp.MustCompile(`// want (\d+) "((?:[^"\\]|\\.)*)" ([a-z-]+)`)
+
+type wantDiag struct {
+	line, col int
+	msg, rule string
+}
+
+func parseWants(t *testing.T, src []byte) []wantDiag {
+	t.Helper()
+	var wants []wantDiag
+	sc := bufio.NewScanner(bytes.NewReader(src))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		for _, m := range wantRe.FindAllStringSubmatch(sc.Text(), -1) {
+			var col int
+			fmt.Sscanf(m[1], "%d", &col)
+			msg, err := unquoteWant(m[2])
+			if err != nil {
+				t.Fatalf("line %d: bad want message %q: %v", line, m[2], err)
+			}
+			wants = append(wants, wantDiag{line: line, col: col, msg: msg, rule: m[3]})
+		}
+	}
+	return wants
+}
+
+func unquoteWant(s string) (string, error) {
+	var b []byte
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' {
+			if i+1 >= len(s) {
+				return "", fmt.Errorf("trailing backslash")
+			}
+			i++
+		}
+		b = append(b, s[i])
+	}
+	return string(b), nil
+}
+
+func TestDiagnosticsGolden(t *testing.T) {
+	files, err := filepath.Glob("testdata/diag/*.go")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no testdata/diag files: %v", err)
+	}
+	for _, file := range files {
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wants := parseWants(t, src)
+			if len(wants) == 0 {
+				t.Fatalf("%s declares no // want diagnostics", file)
+			}
+			_, cerr := Compile(filepath.Base(file), src, Options{})
+			if cerr == nil {
+				t.Fatalf("%s compiled; want %d diagnostics", file, len(wants))
+			}
+			diags, ok := cerr.(DiagList)
+			if !ok {
+				t.Fatalf("error is %T, want DiagList", cerr)
+			}
+			matched := make([]bool, len(wants))
+			for _, d := range diags {
+				found := false
+				for i, w := range wants {
+					if !matched[i] && d.Pos.Line == w.line && d.Pos.Column == w.col &&
+						d.Msg == w.msg && d.Rule == w.rule {
+						matched[i] = true
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("unexpected diagnostic: %v", d)
+				}
+			}
+			for i, w := range wants {
+				if !matched[i] {
+					t.Errorf("missing diagnostic at %d:%d [%s] %q", w.line, w.col, w.rule, w.msg)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,147 @@
+package gofront
+
+import (
+	"hyperion/internal/ebpf"
+)
+
+// emit turns allocated IR into the final instruction stream. Slot
+// accounting mirrors ehdl's emitter: LDDW and frame-address sequences
+// occupy two slots, labels occupy none, and a 64-bit register move
+// whose operands coalesced to the same physical register vanishes —
+// that elision is what makes `p := mapLookup(...)` cost zero
+// instructions over the bare call, like hand-written assembly.
+func emit(c *compiler, ir []irIns, phys map[vreg]uint8) []ebpf.Instruction {
+	reg := func(v vreg) uint8 {
+		if v == vFP {
+			return ebpf.R10
+		}
+		return phys[v]
+	}
+
+	// Pass 1: slot width of every IR instruction, then label → slot.
+	widths := make([]int, len(ir))
+	for i, ins := range ir {
+		switch ins.op {
+		case opLabel:
+			widths[i] = 0
+		case opMovImm:
+			if ins.imm < -1<<31 || ins.imm >= 1<<31 {
+				widths[i] = 2 // lddw
+			} else {
+				widths[i] = 1
+			}
+		case opMovReg:
+			if ins.coalesce && !ins.is32 && reg(ins.dst) == reg(ins.src) {
+				widths[i] = 0 // coalesced copy
+			} else {
+				widths[i] = 1
+			}
+		case opFrameAddr:
+			widths[i] = 2 // mov fp + sub
+		default:
+			widths[i] = 1
+		}
+	}
+	slotAt := make([]int, len(ir)+1)
+	for i, w := range widths {
+		slotAt[i+1] = slotAt[i] + w
+	}
+	labelSlot := map[int]int{}
+	for i, ins := range ir {
+		if ins.op == opLabel {
+			labelSlot[ins.lbl] = slotAt[i]
+		}
+	}
+
+	out := make([]ebpf.Instruction, 0, slotAt[len(ir)])
+	for i, ins := range ir {
+		if widths[i] == 0 {
+			continue
+		}
+		switch ins.op {
+		case opMovImm:
+			if widths[i] == 2 {
+				// One Instruction element, two encoding slots.
+				out = append(out, ebpf.LoadImm64(reg(ins.dst), ins.imm))
+			} else {
+				out = append(out, ebpf.Mov64Imm(reg(ins.dst), int32(ins.imm)))
+			}
+		case opMovReg:
+			if ins.is32 {
+				out = append(out, ebpf.Instruction{
+					Op:  ebpf.ClassALU | ebpf.ALUMov | ebpf.SrcReg,
+					Dst: reg(ins.dst), Src: reg(ins.src),
+				})
+			} else {
+				out = append(out, ebpf.Mov64Reg(reg(ins.dst), reg(ins.src)))
+			}
+		case opALUImm:
+			cls := ebpf.ClassALU64
+			if ins.is32 {
+				cls = ebpf.ClassALU
+			}
+			out = append(out, ebpf.Instruction{
+				Op: cls | ins.alu, Dst: reg(ins.dst), Imm: int32(ins.imm),
+			})
+		case opALUReg:
+			cls := ebpf.ClassALU64
+			if ins.is32 {
+				cls = ebpf.ClassALU
+			}
+			out = append(out, ebpf.Instruction{
+				Op: cls | ins.alu | ebpf.SrcReg, Dst: reg(ins.dst), Src: reg(ins.src),
+			})
+		case opLoad:
+			out = append(out, ebpf.LoadMem(ins.size, reg(ins.dst), reg(ins.src), int16(ins.off)))
+		case opStore:
+			out = append(out, ebpf.StoreMem(ins.size, reg(ins.dst), reg(ins.src), int16(ins.off)))
+		case opStoreImm:
+			out = append(out, ebpf.StoreImm(ins.size, reg(ins.dst), int16(ins.off), int32(ins.imm)))
+		case opFrameAddr:
+			out = append(out,
+				ebpf.Mov64Reg(reg(ins.dst), ebpf.R10),
+				ebpf.ALU64Imm(ebpf.ALUSub, reg(ins.dst), ins.off))
+		case opCall:
+			out = append(out, ebpf.Call(int32(ins.imm)))
+		case opJmp:
+			target, ok := labelSlot[ins.lbl]
+			if !ok {
+				c.errs.add(ins.pos, RuleGoto, "jump to undefined label (goto into an unreached block?)")
+				continue
+			}
+			rel := target - (slotAt[i] + 1)
+			if rel < -1<<15 || rel >= 1<<15 {
+				c.errs.add(ins.pos, RuleSize, "jump distance %d exceeds the ISA's 16-bit offset", rel)
+				continue
+			}
+			off := int16(rel)
+			switch {
+			case ins.jop == ebpf.JmpA:
+				out = append(out, ebpf.Ja(off))
+			case ins.src != vNone:
+				cls := ebpf.ClassJMP
+				if ins.is32 {
+					cls = ebpf.ClassJMP32
+				}
+				out = append(out, ebpf.Instruction{
+					Op:  cls | ins.jop | ebpf.SrcReg,
+					Dst: reg(ins.dst), Src: reg(ins.src), Off: off,
+				})
+			default:
+				cls := ebpf.ClassJMP
+				if ins.is32 {
+					cls = ebpf.ClassJMP32
+				}
+				out = append(out, ebpf.Instruction{
+					Op: cls | ins.jop, Dst: reg(ins.dst), Imm: int32(ins.imm), Off: off,
+				})
+			}
+		case opRet:
+			out = append(out, ebpf.Exit())
+		}
+	}
+	if len(out) > ebpf.MaxInsns {
+		c.errs.add(ir[0].pos, RuleSize, "program has %d instructions, over the ISA limit %d", len(out), ebpf.MaxInsns)
+	}
+	return out
+}

@@ -1,0 +1,182 @@
+package gofront
+
+// Linear-scan register allocation over the loop-free IR. Virtual
+// registers get one live interval each (the IR is not SSA: a local
+// keeps its vreg across redefinitions, so the interval spans first
+// def to last use). Positions interleave reads (2i) and writes (2i+1)
+// so that a move's source and destination do not conflict — that is
+// what lets the emitter coalesce `p := helper(...)` onto r0 and drop
+// the move, matching hand-written assembly.
+
+const noReg = uint8(255)
+
+// callerSaved registers are clobbered by helper calls; values live
+// across a call must sit in r6-r8 (r9 pins the context, r10 is the
+// frame pointer).
+var prefAny = [...]uint8{8, 7, 6, 5, 4, 3, 2, 1, 0}
+var prefAcrossCall = [...]uint8{8, 7, 6}
+
+type interval struct {
+	v          vreg
+	start, end int // read/write positions, inclusive
+	fixed      uint8
+	hasFixed   bool
+	hint       vreg // move source; try to share its register
+	acrossCall bool
+}
+
+// allocate maps every vreg to a physical register, reporting RuleRegs
+// diagnostics when the program's live values exceed the machine.
+func allocate(c *compiler, fn *lowerer) map[vreg]uint8 {
+	ir := fn.ir
+	iv := make([]interval, fn.nv)
+	for i := range iv {
+		iv[i] = interval{v: vreg(i), start: -1, end: -1, hint: vNone}
+	}
+	touch := func(v vreg, pos int) {
+		if v < 0 {
+			return
+		}
+		in := &iv[v]
+		if in.start < 0 || pos < in.start {
+			in.start = pos
+		}
+		if pos > in.end {
+			in.end = pos
+		}
+	}
+	var callPoints []int
+	for i, ins := range ir {
+		r, w := 2*i, 2*i+1
+		switch ins.op {
+		case opMovImm, opFrameAddr:
+			touch(ins.dst, w)
+		case opMovReg:
+			touch(ins.src, r)
+			touch(ins.dst, w)
+			if ins.dst >= 0 && iv[ins.dst].hint == vNone && iv[ins.dst].start == w {
+				iv[ins.dst].hint = ins.src
+			}
+		case opALUImm:
+			touch(ins.dst, r)
+			touch(ins.dst, w)
+		case opALUReg:
+			touch(ins.src, r)
+			touch(ins.dst, r)
+			touch(ins.dst, w)
+		case opLoad:
+			touch(ins.src, r)
+			touch(ins.dst, w)
+		case opStore:
+			touch(ins.dst, r) // base address
+			touch(ins.src, r)
+		case opStoreImm:
+			touch(ins.dst, r)
+		case opCall:
+			for _, a := range ins.args {
+				touch(a, r)
+			}
+			touch(ins.dst, w)
+			callPoints = append(callPoints, r)
+		case opJmp:
+			touch(ins.dst, r)
+			touch(ins.src, r)
+		case opRet:
+			touch(ins.src, r)
+		}
+	}
+	for v := range iv {
+		if p, ok := fn.precolor[vreg(v)]; ok {
+			iv[v].fixed = p
+			iv[v].hasFixed = true
+		}
+	}
+	for i := range iv {
+		in := &iv[i]
+		for _, cp := range callPoints {
+			if in.start < cp && in.end > cp {
+				in.acrossCall = true
+				break
+			}
+		}
+	}
+
+	// Allocate in order of interval start so move sources are placed
+	// before their destinations (enabling the hint).
+	order := make([]int, 0, len(iv))
+	for i := range iv {
+		if iv[i].start >= 0 {
+			order = append(order, i)
+		}
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && iv[order[j]].start < iv[order[j-1]].start; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+
+	phys := make(map[vreg]uint8, len(order))
+	conflicts := func(v int, reg uint8) bool {
+		for _, o := range order {
+			p, done := phys[vreg(o)]
+			if !done || p != reg || o == v {
+				continue
+			}
+			if iv[o].start <= iv[v].end && iv[v].start <= iv[o].end {
+				return true
+			}
+		}
+		return false
+	}
+	// Fixed intervals first: the ABI gives them no alternative, so
+	// they claim their register before any hint or preference can —
+	// a later `return` (r0) must win over a call result hinted to r0.
+	for _, v := range order {
+		in := &iv[v]
+		if !in.hasFixed {
+			continue
+		}
+		if in.acrossCall && in.fixed < 6 {
+			c.errs.add(ir[posToIns(in.start)].pos, RuleRegs,
+				"value pinned to r%d is live across a helper call; copy it to a local first", in.fixed)
+		}
+		if conflicts(v, in.fixed) {
+			c.errs.add(ir[posToIns(in.start)].pos, RuleRegs,
+				"conflicting uses of r%d (overlapping helper calls?)", in.fixed)
+		}
+		phys[vreg(v)] = in.fixed
+	}
+	for _, v := range order {
+		in := &iv[v]
+		if in.hasFixed {
+			continue
+		}
+		assigned := noReg
+		if in.hint >= 0 && !in.acrossCall {
+			if hp, ok := phys[in.hint]; ok && hp != 9 && !conflicts(v, hp) {
+				assigned = hp
+			}
+		}
+		if assigned == noReg {
+			prefs := prefAny[:]
+			if in.acrossCall {
+				prefs = prefAcrossCall[:]
+			}
+			for _, p := range prefs {
+				if !conflicts(v, p) {
+					assigned = p
+					break
+				}
+			}
+		}
+		if assigned == noReg {
+			c.errs.add(ir[posToIns(in.start)].pos, RuleRegs,
+				"too many values live at once (the ISA has 9 usable registers); restructure the program")
+			return phys
+		}
+		phys[vreg(v)] = assigned
+	}
+	return phys
+}
+
+func posToIns(pos int) int { return pos / 2 }

@@ -1,0 +1,23 @@
+// Variable array indices must be provably in range. The j access
+// compiles: the guard's fallthrough refines j below the array length,
+// which is the pattern the real offloads rely on.
+package prog
+
+type Ctx struct {
+	Idx  uint64
+	Len  uint16    `hyperion:"offset=8"`
+	Vals [8]uint64 `hyperion:"offset=16"`
+}
+
+func Entry(ctx *Ctx) uint64 {
+	i := ctx.Idx
+	a := ctx.Vals[i] // want 16 "cannot prove the index stays below 8 for [8]uint64 (value is unbounded here)" array-bounds
+	n := uint64(ctx.Len)
+	b := ctx.Vals[n] // want 16 "cannot prove the index stays below 8 for [8]uint64 (possible range [0, 65535])" array-bounds
+	j := ctx.Idx
+	if j > 7 {
+		return 0
+	}
+	c := ctx.Vals[j]
+	return a + b + c
+}

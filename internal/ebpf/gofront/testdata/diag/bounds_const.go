@@ -1,0 +1,11 @@
+// Constant array indices are range-checked as the access is resolved.
+package prog
+
+type Ctx struct {
+	Vals [8]uint64
+}
+
+func Entry(ctx *Ctx) uint64 {
+	b := ctx.Vals[9] // want 16 "index 9 out of range for [8]uint64" array-bounds
+	return b
+}

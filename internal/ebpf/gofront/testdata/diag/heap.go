@@ -1,0 +1,18 @@
+// Heap allocation in every guise the subset rejects.
+package prog
+
+type Ctx struct {
+	A uint64
+}
+
+type Point struct {
+	X uint64
+	Y uint64
+}
+
+func Entry(ctx *Ctx) uint64 {
+	buf := make([]uint64, 4) // want 9 "make allocates; the restricted subset has no heap" no-heap
+	ptr := new(uint64)       // want 9 "new allocates; the restricted subset has no heap" no-heap
+	pt := Point{}            // want 8 "composite literals build aggregates in memory; assign fields individually" no-heap
+	return 0
+}

@@ -1,0 +1,15 @@
+// Calls resolve against declared //hyperion:helper intrinsics only.
+package prog
+
+type Ctx struct {
+	A uint32
+}
+
+//hyperion:helper 1
+func mapLookup(m uint32, k *uint32) *uint64
+
+func Entry(ctx *Ctx) uint64 {
+	logPacket(1) // want 2 "unknown helper logPacket; declare it with a //hyperion:helper directive" unknown-helper
+	mapLookup(0) // want 2 "helper mapLookup takes 2 arguments, got 1" helper-sig
+	return 0
+}

@@ -1,0 +1,15 @@
+// Interfaces mean dynamic dispatch; the subset has none.
+package prog
+
+type Ctx struct {
+	A uint64
+}
+
+func Entry(ctx *Ctx) uint64 {
+	var box interface{} // want 10 "interface types are outside the restricted subset (no dynamic dispatch)" no-interface
+	switch box.(type) { // want 2 "type switches need interfaces, which are outside the restricted subset" no-interface
+	case int:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,18 @@
+// Loops must unroll at compile time: constant bounds, constant step.
+package prog
+
+type Ctx struct {
+	N uint64
+}
+
+func Entry(ctx *Ctx) uint64 {
+	n := ctx.N
+	sum := n
+	for i := 0; i < n; i++ { // want 18 "for loops must have the form `for i := C; i < C; i++` (constant bounds and step) so they unroll at compile time" bounded-loop
+		sum += i
+	}
+	for { // want 2 "for loops must have the form `for i := C; i < C; i++` (constant bounds and step) so they unroll at compile time" bounded-loop
+		sum += 1
+	}
+	return sum
+}

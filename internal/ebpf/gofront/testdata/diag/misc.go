@@ -1,0 +1,21 @@
+// Backward gotos, goroutines, and unsupported statements.
+package prog
+
+type Ctx struct {
+	A uint64
+}
+
+//hyperion:helper 9
+func touch(v uint64) int64
+
+func Entry(ctx *Ctx) uint64 {
+	n := ctx.A
+again:
+	n += 1
+	if n < 10 {
+		goto again // want 3 "goto again jumps backward; programs must be loop-free (bounded for loops unroll)" forward-goto
+	}
+	go touch(n)    // want 2 "goroutines are outside the restricted subset" no-concurrency
+	defer touch(n) // want 2 "defer is outside the restricted subset" no-concurrency
+	return n
+}

@@ -1,0 +1,12 @@
+// String types and literals are outside the subset.
+package prog
+
+type Ctx struct {
+	A uint64
+}
+
+func Entry(ctx *Ctx) uint64 {
+	var name string   // want 11 "string values are outside the restricted subset (no dynamic memory)" no-string
+	tag := "attacker" // want 9 "string values are outside the restricted subset (no dynamic memory)" no-string
+	return 0
+}

@@ -46,6 +46,7 @@ func BenchmarkKV_YCSBBackends(b *testing.B)             { runExperiment(b, "E13"
 func BenchmarkNVMeoF_Transports(b *testing.B)           { runExperiment(b, "E14") }
 func BenchmarkChaos_FaultInjection(b *testing.B)        { runExperiment(b, "E16") }
 func BenchmarkRack_ScaleOut(b *testing.B)               { runExperiment(b, "E17") }
+func BenchmarkTenants_MultiTenantSLO(b *testing.B)      { runExperiment(b, "E18") }
 
 // TestAllExperimentsProduceOutput is the integration smoke test: every
 // experiment runs to completion and emits a plausible table. Subtests
@@ -97,6 +98,7 @@ var goldenTableHashes = map[string]string{
 	"X1":  "238916f719bb49803307dd2218cc38be11010ef940accc4a0354a75c81e22aef",
 	"E16": "41cd53e508a79a61d8b3e46ad2c7bb5db51792ca0e7470fcae7146e6c7e491b0",
 	"E17": "28cb2d0ef9557fac80f4f883a43308132701b420c653953f682704fe20e82d79",
+	"E18": "7c046dd15937b673411d3f9c9ae5281f23c18763368b87b913863352ec049421",
 }
 
 // TestExperimentsDeterministic asserts the simulation's core promise:

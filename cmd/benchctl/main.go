@@ -36,7 +36,7 @@ func main() {
 	jsonPath := flag.String("json", "", "with 'all': write machine-readable per-experiment results to this file")
 	comparePath := flag.String("compare", "", "with 'all': diff results against this prior BENCH_*.json; exit 1 on any table-hash mismatch")
 	tracePath := flag.String("trace", "", "run traced experiments with the telemetry plane armed and write <id>.trace.json/.hist.txt/.critpath.txt to this existing directory")
-	shards := flag.Int("shards", 0, "run cluster-capable experiments (E17) on N sim.Cluster shards; 0 keeps each experiment's default")
+	shards := flag.Int("shards", 0, "run cluster-capable experiments (E17, E18) on N sim.Cluster shards; 0 keeps each experiment's default")
 	sweepSpec := flag.String("shardsweep", "", "with 'all': comma-separated shard counts (e.g. 1,2,4,8); rerun E17 at each and record events/sec scaling in the JSON report")
 	flag.Usage = usage
 	flag.Parse()

@@ -208,3 +208,70 @@ func TestTraceFlag(t *testing.T) {
 		}
 	})
 }
+
+// TestTenantsExperiment drives E18 through the executable: the sweep
+// must run, its table must be shard-count invariant across processes,
+// and the traced form must write artifacts while printing the same
+// table bytes.
+func TestTenantsExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns full experiment runs")
+	}
+	t.Run("runs and reports the sweep", func(t *testing.T) {
+		t.Parallel()
+		out, exit := run(t, "tenants")
+		if exit != 0 {
+			t.Fatalf("exit = %d, want 0; output:\n%s", exit, out)
+		}
+		for _, want := range []string{"== E18", "tenants", "quiet p99", "admission cap"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("output missing %q:\n%s", want, out)
+			}
+		}
+	})
+	t.Run("shard count is a layout knob", func(t *testing.T) {
+		t.Parallel()
+		one, exit := run(t, "-shards", "1", "tenants")
+		if exit != 0 {
+			t.Fatalf("1-shard exit = %d; output:\n%s", exit, one)
+		}
+		two, exit := run(t, "-shards", "2", "tenants")
+		if exit != 0 {
+			t.Fatalf("2-shard exit = %d; output:\n%s", exit, two)
+		}
+		if one != two {
+			t.Fatalf("E18 output differs across shard counts:\n--- 1 shard ---\n%s\n--- 2 shards ---\n%s", one, two)
+		}
+	})
+	t.Run("traced run writes artifacts and matches untraced table", func(t *testing.T) {
+		t.Parallel()
+		plain, exit := run(t, "tenants")
+		if exit != 0 {
+			t.Fatalf("untraced exit = %d; output:\n%s", exit, plain)
+		}
+		dir := t.TempDir()
+		traced, exit := run(t, "-trace", dir, "tenants")
+		if exit != 0 {
+			t.Fatalf("traced exit = %d; output:\n%s", exit, traced)
+		}
+		if i := strings.Index(traced, "trace artifacts:"); i < 0 || traced[:i] != plain {
+			t.Fatalf("traced table diverged from untraced:\n--- traced ---\n%s\n--- untraced ---\n%s", traced, plain)
+		}
+		raw, err := os.ReadFile(filepath.Join(dir, "E18.trace.json"))
+		if err != nil {
+			t.Fatalf("trace artifact missing: %v", err)
+		}
+		if !json.Valid(raw) {
+			t.Fatal("E18.trace.json is not valid JSON")
+		}
+		for _, name := range []string{"E18.hist.txt", "E18.critpath.txt"} {
+			b, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				t.Fatalf("artifact missing: %v", err)
+			}
+			if len(b) == 0 {
+				t.Fatalf("%s is empty", name)
+			}
+		}
+	})
+}

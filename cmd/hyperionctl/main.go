@@ -12,6 +12,7 @@
 //	hyperionctl session                        # full scripted session
 //	hyperionctl trace -probes 8 -dir out/      # traced Figure 2 probes
 //	hyperionctl rack -shards 4                 # per-shard PDES kernel report
+//	hyperionctl tenants -tenants 10 -fault 0.01  # multi-tenant SLO report
 //	hyperionctl build filter.go                # compile restricted Go to the ISA
 package main
 
@@ -102,12 +103,16 @@ func bitstream(mib int64, tag string) *fabric.Bitstream {
 
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: hyperionctl status | load | unload | session | trace | rack | build")
+		fmt.Fprintln(os.Stderr, "usage: hyperionctl status | load | unload | session | trace | rack | tenants | build")
 		os.Exit(2)
 	}
 	cmd, args := os.Args[1], os.Args[2:]
 	if cmd == "rack" {
 		cmdRack(args) // rack-scale: no single-DPU control session to dial
+		return
+	}
+	if cmd == "tenants" {
+		cmdTenants(args) // self-contained scenario: no control session to dial
 		return
 	}
 	if cmd == "build" {
@@ -220,6 +225,47 @@ func cmdRack(args []string) {
 	if busy+stall > 0 {
 		fmt.Printf("barrier stall: %.1f%% of shard wall time\n", 100*float64(stall)/float64(busy+stall))
 	}
+}
+
+// cmdTenants is the operator's view of the multi-tenant control plane:
+// one E18 sweep cell — admission, weighted-fair slot scheduling, slot
+// leases, fault-plane evictions — followed by the per-tenant SLO
+// report. Output is a pure function of the flags, so two invocations
+// with the same flags print identical bytes.
+func cmdTenants(args []string) {
+	fs := flag.NewFlagSet("tenants", flag.ExitOnError)
+	n := fs.Int("tenants", 10, "tenant arrivals (a late tenant arrives on top)")
+	leaseUS := fs.Int64("lease-us", 2000, "slot lease in microseconds (0 = static placement)")
+	rate := fs.Float64("fault", 0, "fault-plane slot-eviction rate in [0,1]")
+	seed := fs.Uint64("seed", 1, "scenario seed")
+	_ = fs.Parse(args)
+	if *n < 1 || *leaseUS < 0 || *rate < 0 || *rate > 1 {
+		fmt.Fprintln(os.Stderr, "tenants: -tenants must be >= 1, -lease-us >= 0, -fault in [0,1]")
+		os.Exit(2)
+	}
+
+	res, rows := bench.TenantScenario(*seed, *n, sim.Duration(*leaseUS)*sim.Microsecond, *rate)
+	fmt.Print(res.String())
+	var tbl sim.Table
+	tbl.Header = []string{"tenant", "wgt", "state", "plc", "pre", "evt", "sub", "ok", "retry", "err",
+		"p50", "p99", "goodput/s", "slo"}
+	for _, r := range rows {
+		slo := "ok"
+		switch {
+		case r.ViolLat && r.ViolGood:
+			slo = "lat+good!"
+		case r.ViolLat:
+			slo = "lat!"
+		case r.ViolGood:
+			slo = "good!"
+		}
+		tbl.AddRow(r.Name, fmt.Sprintf("%d", r.Weight), r.State,
+			fmt.Sprintf("%d", r.Placements), fmt.Sprintf("%d", r.Preemptions), fmt.Sprintf("%d", r.Evictions),
+			fmt.Sprintf("%d", r.Submitted), fmt.Sprintf("%d", r.Completed),
+			fmt.Sprintf("%d", r.Retryable), fmt.Sprintf("%d", r.Failed),
+			r.P50.String(), r.P99.String(), fmt.Sprintf("%.0f", r.GoodputOPS), slo)
+	}
+	fmt.Print(tbl.String())
 }
 
 // trace arms the telemetry plane on the booted DPU, drives n Figure 2

@@ -6,6 +6,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -135,4 +136,81 @@ func TestTraceDeterministic(t *testing.T) {
 	if a != b {
 		t.Fatalf("trace output diverged across processes:\n--- first ---\n%s\n--- second ---\n%s", a, b)
 	}
+}
+
+// TestTenantsCommand drives the multi-tenant scenario through the
+// executable: flag validation, a parseable per-tenant SLO table, and
+// cross-process byte-identity at a fixed seed.
+func TestTenantsCommand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns full tenant scenarios")
+	}
+	t.Run("bad flags exit 2", func(t *testing.T) {
+		t.Parallel()
+		for _, args := range [][]string{
+			{"tenants", "-tenants", "0"},
+			{"tenants", "-fault", "1.5"},
+			{"tenants", "-lease-us", "-1"},
+		} {
+			out, exit := run(t, args...)
+			if exit != 2 {
+				t.Fatalf("%v: exit = %d, want 2; output:\n%s", args, exit, out)
+			}
+			if !strings.Contains(out, "tenants:") {
+				t.Fatalf("%v: output missing diagnostic:\n%s", args, out)
+			}
+		}
+	})
+	t.Run("reports summary and per-tenant SLO table", func(t *testing.T) {
+		t.Parallel()
+		out, exit := run(t, "tenants", "-tenants", "8", "-fault", "0.01")
+		if exit != 0 {
+			t.Fatalf("exit = %d, want 0; output:\n%s", exit, out)
+		}
+		for _, want := range []string{"== E18", "aa-quiet", "ab-noisy", "zz-late", "goodput/s"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("output missing %q:\n%s", want, out)
+			}
+		}
+		// The per-tenant table must parse: every tenant row has the
+		// header's column count, and the quiet tenant's row carries a
+		// numeric completion count.
+		lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+		var header []string
+		rows := 0
+		for _, line := range lines {
+			f := strings.Fields(line)
+			if len(f) > 0 && f[0] == "tenant" {
+				header = f
+				continue
+			}
+			if header == nil || len(f) == 0 || strings.HasPrefix(f[0], "-") {
+				continue
+			}
+			rows++
+			if len(f) != len(header) {
+				t.Fatalf("row %q has %d fields, header has %d", line, len(f), len(header))
+			}
+			if f[0] == "aa-quiet" {
+				if _, err := strconv.Atoi(f[7]); err != nil {
+					t.Fatalf("quiet tenant ok column %q not numeric: %v", f[7], err)
+				}
+			}
+		}
+		if rows != 9 { // 8 arrivals + the late tenant
+			t.Fatalf("per-tenant table has %d rows, want 9:\n%s", rows, out)
+		}
+	})
+	t.Run("cross-process byte identity", func(t *testing.T) {
+		t.Parallel()
+		args := []string{"tenants", "-tenants", "10", "-lease-us", "2000", "-fault", "0.05", "-seed", "7"}
+		a, exitA := run(t, args...)
+		b, exitB := run(t, args...)
+		if exitA != 0 || exitB != 0 {
+			t.Fatalf("exits %d/%d, want 0", exitA, exitB)
+		}
+		if a != b {
+			t.Fatalf("two identical invocations diverged:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+		}
+	})
 }

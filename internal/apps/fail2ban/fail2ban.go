@@ -101,9 +101,13 @@ pass:
 `, VerdictDrop, threshold, VerdictBanned, VerdictPass)
 }
 
-// Deploy compiles the filter, loads it into a fabric slot, and
-// allocates the persistent ban log. done fires when the slot is active.
-func Deploy(d *core.DPU, slot, threshold int, done func()) (*Filter, error) {
+// NewPipeline compiles a fresh, self-contained filter instance — the
+// gofront-compiled program plus its own ban and failure-count maps —
+// into an eHDL pipeline authorized by authTag. Each call returns
+// independent state, so the tenant plane can run one filter instance
+// per tenant in separate slots. The returned maps are ids 0 (bans)
+// and 1 (failure counts).
+func NewPipeline(name, authTag string, threshold int) (*ehdl.Pipeline, *ebpf.HashMap, *ebpf.HashMap, error) {
 	maps := &ebpf.MapSet{}
 	bans := ebpf.NewHashMap(4, 8, 1<<16)
 	fails := ebpf.NewHashMap(4, 8, 1<<16)
@@ -112,17 +116,27 @@ func Deploy(d *core.DPU, slot, threshold int, done func()) (*Filter, error) {
 
 	prog, err := CompileFilter(threshold)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	vcfg := ebpf.DefaultVerifierConfig(maps)
 	vcfg.CtxSize = ctxBytes
 	pipe, err := ehdl.Compile(prog, ehdl.Options{
-		Name:     "fail2ban",
-		AuthTag:  d.Cfg.AuthTag,
+		Name:     name,
+		AuthTag:  authTag,
 		Optimize: true,
-		CtxBytes: 20,
+		CtxBytes: ctxBytes,
 		Verifier: vcfg,
 	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return pipe, bans, fails, nil
+}
+
+// Deploy compiles the filter, loads it into a fabric slot, and
+// allocates the persistent ban log. done fires when the slot is active.
+func Deploy(d *core.DPU, slot, threshold int, done func()) (*Filter, error) {
+	pipe, bans, fails, err := NewPipeline("fail2ban", d.Cfg.AuthTag, threshold)
 	if err != nil {
 		return nil, err
 	}

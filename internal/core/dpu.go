@@ -19,6 +19,7 @@ import (
 	"hyperion/internal/seg"
 	"hyperion/internal/sim"
 	"hyperion/internal/telemetry"
+	"hyperion/internal/tenant"
 	"hyperion/internal/transport"
 )
 
@@ -83,6 +84,7 @@ type DPU struct {
 	arbiter  *fabric.Arbiter
 	handlers map[uint16]func(netsim.Frame)
 	rec      *telemetry.Recorder
+	tenants  *tenant.Controller
 	fig2Free []*fig2Ctx
 
 	Counters sim.CounterSet
@@ -105,6 +107,9 @@ func (d *DPU) SetRecorder(rec *telemetry.Recorder) {
 	}
 	d.Store.SetRecorder(rec)
 	d.arbiter.SetRecorder(rec)
+	if d.tenants != nil {
+		d.tenants.SetRecorder(rec)
+	}
 	if d.CtrlSrv != nil {
 		d.CtrlSrv.SetRecorder(rec)
 	}

@@ -1,0 +1,25 @@
+package core
+
+import (
+	"hyperion/internal/tenant"
+)
+
+// InstallTenantPlane attaches the multi-tenant control plane to this
+// DPU's fabric: an admission controller plus slot scheduler whose
+// weighted-fair arbiter feeds the reconfigurable slots. The plane is
+// passive until tenants are admitted — an installed-but-idle plane
+// leaves every existing datapath bit-identical (no events scheduled,
+// no generator state consumed), which TestIdleTenantPlaneIsNeutral
+// pins. If the telemetry plane is armed it extends to the tenant
+// plane; arming later via SetRecorder extends it as well.
+func (d *DPU) InstallTenantPlane(cfg tenant.Config) *tenant.Controller {
+	ctl := tenant.New(d.Eng, d.Fabric, cfg)
+	if d.rec != nil {
+		ctl.SetRecorder(d.rec)
+	}
+	d.tenants = ctl
+	return ctl
+}
+
+// TenantPlane returns the installed tenant controller, or nil.
+func (d *DPU) TenantPlane() *tenant.Controller { return d.tenants }

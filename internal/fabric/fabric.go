@@ -148,7 +148,8 @@ type Slot struct {
 	LoadedAt  sim.Time
 	busyUntil sim.Time // pipeline issue: next cycle an item may enter
 
-	completeName string // precomputed completion event name for Image
+	completeName string       // precomputed completion event name for Image
+	reconfigRef  sim.EventRef // pending activation event while reconfiguring
 
 	in  *Stream
 	out *Stream
@@ -264,7 +265,8 @@ func (f *Fabric) LoadBitstream(i int, b *Bitstream, done func()) error {
 	slot.State = SlotReconfiguring
 	_ = old
 	f.Counters.Get("reconfigs").Add(1)
-	f.eng.After(f.ReconfigTime(b.SizeBytes), "fabric.reconfig:"+b.Name, func() {
+	slot.reconfigRef = f.eng.After(f.ReconfigTime(b.SizeBytes), "fabric.reconfig:"+b.Name, func() {
+		slot.reconfigRef = sim.NoEvent
 		slot.State = SlotActive
 		slot.LoadedAt = f.eng.Now()
 		slot.busyUntil = f.eng.Now()
@@ -289,6 +291,31 @@ func (f *Fabric) Unload(i int) error {
 	}
 	slot.Image = nil
 	slot.State = SlotEmpty
+	return nil
+}
+
+// Evict force-clears slot i immediately, even mid-reconfiguration — the
+// fault plane's slot-kill primitive (an SEU scrub or PR-region fault;
+// the graceful teardown path is Unload). A pending activation event is
+// cancelled so the LoadBitstream done callback never fires, and the
+// image's resources return to the pool. Items already issued into the
+// pipeline still complete: each pins its image, exactly as with a
+// reconfiguration started underneath them.
+func (f *Fabric) Evict(i int) error {
+	slot, err := f.Slot(i)
+	if err != nil {
+		return err
+	}
+	if slot.State == SlotReconfiguring {
+		f.eng.Cancel(slot.reconfigRef)
+		slot.reconfigRef = sim.NoEvent
+	}
+	if slot.Image != nil {
+		f.free = f.free.Add(slot.Image.Uses)
+	}
+	slot.Image = nil
+	slot.State = SlotEmpty
+	f.Counters.Get("evictions").Add(1)
 	return nil
 }
 

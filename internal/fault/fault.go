@@ -40,12 +40,16 @@ const (
 	LinkDown
 	// Crash takes a cluster node down for a restart window.
 	Crash
+	// Evict force-clears a fabric slot mid-flight: the tenant plane's
+	// config engine loses the region (SEU scrub, PR region fault) and
+	// must reschedule the occupant.
+	Evict
 
 	numKinds
 )
 
 var kindNames = [numKinds]string{
-	"drop", "corrupt", "reorder", "media_err", "timeout", "link_down", "crash",
+	"drop", "corrupt", "reorder", "media_err", "timeout", "link_down", "crash", "evict",
 }
 
 // String names the kind for counters and tables.

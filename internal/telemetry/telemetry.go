@@ -165,6 +165,23 @@ func (r *Recorder) Count(layer, name string, n int64) {
 	s.counts[i].n += n
 }
 
+// Hist returns this process's (layer,name) latency histogram, or nil
+// when disarmed or when nothing has been observed under that key. The
+// tenant plane's SLO accounting and the isolation tests read p99s
+// straight from the recorded distribution instead of keeping a second
+// set of books.
+func (r *Recorder) Hist(layer, name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	k := metricKey{r.pid, layer, name}
+	i, ok := r.s.histIdx[k]
+	if !ok {
+		return nil
+	}
+	return &r.s.hists[i].h
+}
+
 // Events returns the number of spans recorded so far (0 when
 // disarmed).
 func (r *Recorder) Events() int {

@@ -1,0 +1,131 @@
+package tenant
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"hyperion/internal/fabric"
+	"hyperion/internal/fault"
+	"hyperion/internal/sim"
+)
+
+// chaosRun drives 8 tenants over 5 slots with a 2 ms lease for 20 ms
+// while the fault plane evicts slots at the given rate. It returns the
+// per-tenant report plus the request ledger.
+type chaosStats struct {
+	rows                []Row
+	accepted, resolved  int
+	failures, evictions int64
+}
+
+func chaosRun(t *testing.T, seed uint64, rate float64, arm bool) chaosStats {
+	t.Helper()
+	eng := sim.NewEngine(seed)
+	fab := fabric.New(eng, fabric.DefaultConfig(), "tag")
+	cfg := DefaultConfig()
+	cfg.Lease = 2 * sim.Millisecond
+	c := New(eng, fab, cfg)
+	horizon := sim.Time(20 * sim.Millisecond)
+	c.SetHorizon(horizon)
+	if arm {
+		plan := fault.NewPlan(seed, "tenant").Set(fault.Evict, rate)
+		// rate scales outage frequency: 1% ≈ one eviction per 2 ms of
+		// up-time across the box, 5% ≈ one per 400 µs.
+		meanUp := sim.Duration(0)
+		if rate > 0 {
+			meanUp = sim.Duration(float64(20*sim.Microsecond) / rate)
+		} else {
+			meanUp = sim.Millisecond
+		}
+		c.ArmEvictions(plan, horizon, meanUp, 300*sim.Microsecond)
+	}
+	st := chaosStats{}
+	var ids []int
+	for i := 0; i < 8; i++ {
+		tn, err := c.Admit(Spec{
+			Name:   fmt.Sprintf("t%02d", i),
+			Weight: 1 + i%4,
+			Image:  testImage(fmt.Sprintf("i%02d", i), 1+int64(i%3)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, tn.ID)
+	}
+	// Open-loop traffic: every tenant offers a request each 20 µs;
+	// submit-time refusals (not active) are the client's retry signal.
+	for ti := sim.Time(0); ti < horizon; ti = ti.Add(20 * sim.Microsecond) {
+		eng.At(ti, "chaos.submit", func() {
+			for _, id := range ids {
+				err := c.Submit(id, nil, 128, func(err error) {
+					st.resolved++
+					if err != nil && !Retryable(err) {
+						st.failures++
+					}
+				})
+				if err == nil {
+					st.accepted++
+				} else if !Retryable(err) {
+					t.Errorf("submit refused non-retryably: %v", err)
+				}
+			}
+		})
+	}
+	eng.RunUntil(horizon)
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatalf("rate %v mid-run: %v", rate, err)
+	}
+	eng.Run()
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatalf("rate %v after drain: %v", rate, err)
+	}
+	st.rows = c.Report(horizon.Sub(sim.Time(0)))
+	st.evictions = c.Evictions
+	return st
+}
+
+func TestChaosEvictionSweep(t *testing.T) {
+	for _, rate := range []float64{0, 0.01, 0.05} {
+		rate := rate
+		t.Run(fmt.Sprintf("rate=%v", rate), func(t *testing.T) {
+			st := chaosRun(t, 1, rate, true)
+			// Every accepted request resolves: retry-or-error, no hangs.
+			if st.accepted != st.resolved {
+				t.Fatalf("accepted %d but resolved %d — requests hung", st.accepted, st.resolved)
+			}
+			// Victims resolve retryably; nothing terminal in this run
+			// (no departures).
+			if st.failures != 0 {
+				t.Fatalf("%d terminal failures under eviction chaos", st.failures)
+			}
+			if rate >= 0.05 && st.evictions == 0 {
+				t.Fatal("5% eviction rate displaced nobody over 20 ms")
+			}
+		})
+	}
+}
+
+func TestChaosZeroRateIsNoOp(t *testing.T) {
+	// The PR-4 contract on the new plane: a zero-rate armed plan is
+	// bit-identical to no plan at all.
+	armed := chaosRun(t, 1, 0, true)
+	bare := chaosRun(t, 1, 0, false)
+	if armed.accepted != bare.accepted || armed.resolved != bare.resolved {
+		t.Fatalf("zero-rate plan perturbed the ledger: %+v vs %+v", armed, bare)
+	}
+	if !reflect.DeepEqual(armed.rows, bare.rows) {
+		t.Fatalf("zero-rate plan perturbed the report:\n%+v\n%+v", armed.rows, bare.rows)
+	}
+}
+
+func TestChaosDeterministic(t *testing.T) {
+	a := chaosRun(t, 7, 0.05, true)
+	b := chaosRun(t, 7, 0.05, true)
+	if a.accepted != b.accepted || a.resolved != b.resolved || a.evictions != b.evictions {
+		t.Fatalf("chaos run not reproducible: %+v vs %+v", a, b)
+	}
+	if !reflect.DeepEqual(a.rows, b.rows) {
+		t.Fatal("chaos report not reproducible")
+	}
+}

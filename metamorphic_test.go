@@ -7,6 +7,7 @@ import (
 
 	"hyperion/internal/bench"
 	"hyperion/internal/netsim"
+	"hyperion/internal/sim"
 	"hyperion/internal/telemetry"
 )
 
@@ -85,6 +86,25 @@ func TestShardCountInvariance(t *testing.T) {
 				}
 			}
 		})
+		t.Run(fmt.Sprintf("E18/seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			base := bench.TenantsSharded(seed, 1)
+			for _, shards := range []int{2, 4} {
+				r := bench.TenantsSharded(seed, shards)
+				if got, want := r.Table.String(), base.Table.String(); got != want {
+					t.Errorf("E18 at %d shards diverged from 1 shard at seed %d:\n--- %d shards ---\n%s\n--- 1 shard ---\n%s",
+						shards, seed, shards, got, want)
+				}
+				if r.Steps != base.Steps {
+					t.Errorf("E18 at %d shards ran %d events, 1 shard ran %d (seed %d)",
+						shards, r.Steps, base.Steps, seed)
+				}
+				if r.SimTime != base.SimTime {
+					t.Errorf("E18 at %d shards ended at %v, 1 shard at %v (seed %d)",
+						shards, r.SimTime, base.SimTime, seed)
+				}
+			}
+		})
 		t.Run(fmt.Sprintf("X1/seed%d", seed), func(t *testing.T) {
 			t.Parallel()
 			plain := bench.ClusterScaleOut(seed)
@@ -103,6 +123,59 @@ func TestShardCountInvariance(t *testing.T) {
 			if d := windowed.SimTime.Sub(plain.SimTime); d < 0 || d > netsim.DefaultConfig().Lookahead() {
 				t.Errorf("X1 under sim.Cluster ended at %v, plain at %v — outside one lookahead window (seed %d)",
 					windowed.SimTime, plain.SimTime, seed)
+			}
+		})
+	}
+}
+
+// TestTenantRelabelingInvariance pins E18's naming contract: tenant
+// display names are pure labels. Re-running one sweep cell with every
+// name mapped through a sort-order-scrambling rename must permute the
+// per-tenant report rows — each renamed row carrying exactly the
+// original's values — and leave the cell's summary table byte-identical
+// (the summary carries no names, only physics).
+func TestTenantRelabelingInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the tenant scenario repeatedly")
+	}
+	rename := func(s string) string {
+		// Map the leading letter a↔z, b↔y, … so lexicographic order of
+		// the renamed set differs from the original's.
+		return fmt.Sprintf("r%c-%s", 'z'-s[0]+'a', s)
+	}
+	for _, seed := range []uint64{1, 2, 3} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			baseRes, baseRows := bench.TenantScenario(seed, 10, 2*sim.Millisecond, 0.01)
+			renRes, renRows := bench.TenantScenarioRelabeled(seed, 10, 2*sim.Millisecond, 0.01, rename)
+			if got, want := renRes.Table.String(), baseRes.Table.String(); got != want {
+				t.Errorf("relabeling changed the summary at seed %d:\n--- renamed ---\n%s\n--- base ---\n%s", seed, got, want)
+			}
+			if len(renRows) != len(baseRows) {
+				t.Fatalf("row counts differ: %d vs %d", len(renRows), len(baseRows))
+			}
+			for _, b := range baseRows {
+				want := b
+				want.Name = rename(b.Name)
+				found := false
+				for _, r := range renRows {
+					if r.Name == want.Name {
+						if r != want {
+							t.Errorf("seed %d: tenant %q changed values under renaming:\n got %+v\nwant %+v", seed, b.Name, r, want)
+						}
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("seed %d: no renamed row for tenant %q", seed, b.Name)
+				}
+			}
+			for i := 1; i < len(renRows); i++ {
+				if renRows[i-1].Name > renRows[i].Name {
+					t.Errorf("seed %d: renamed report not sorted by the new names", seed)
+				}
 			}
 		})
 	}
